@@ -1,0 +1,28 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Each benchmark runs its experiment once (scaled down from paper size so a
+full sweep finishes in minutes), prints the paper-style table, and asserts
+the *shape* properties the paper claims — orderings, ratios, crossovers —
+rather than absolute numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report even under pytest's captured output."""
+
+    def _show(*reports):
+        with capsys.disabled():
+            print()
+            for r in reports:
+                print(r.report() if hasattr(r, "report") else r)
+                print()
+
+    return _show
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Ablation: B+-tree vs hash backend for the DMS (paper §3.4.3).
+
+Fig. 14 shows the rename contrast; this ablation verifies the *other*
+side of the choice: for the regular operation mix (mkdir/lookup/rmdir)
+the ordered store costs about the same as the hash store — i.e. choosing
+the B+-tree for rename locality sacrifices nothing day-to-day.
+"""
+
+from conftest import once
+
+from repro.common.config import ClusterConfig
+from repro.core.fs import LocoFS
+
+
+def run_backend(backend: str, n: int = 150) -> dict:
+    from repro.common.config import CacheConfig
+
+    # cache disabled so every op actually exercises the DMS store
+    fs = LocoFS(ClusterConfig(num_metadata_servers=2, dms_backend=backend,
+                              cache=CacheConfig(enabled=False)))
+    c = fs.client()
+    t0 = fs.engine.now
+    for i in range(n):
+        c.mkdir(f"/d{i:04d}")
+    mkdir_us = (fs.engine.now - t0) / n
+    t0 = fs.engine.now
+    for i in range(n):
+        c.stat_dir(f"/d{i:04d}")
+    stat_us = (fs.engine.now - t0) / n
+    t0 = fs.engine.now
+    for i in range(n):
+        c.rmdir(f"/d{i:04d}")
+    rmdir_us = (fs.engine.now - t0) / n
+    return {"mkdir": mkdir_us, "dir-stat": stat_us, "rmdir": rmdir_us}
+
+
+def test_ablation_dms_backend(benchmark, show):
+    def run():
+        return {b: run_backend(b) for b in ("btree", "hash")}
+
+    res = once(benchmark, run)
+    show("== Ablation: DMS backend under the regular op mix (µs/op)\n"
+         + "\n".join(
+             f"  {b:<6} " + "  ".join(f"{op} {v:7.1f}" for op, v in row.items())
+             for b, row in res.items()))
+    # day-to-day costs within 15% of each other: the B+-tree is "free"
+    for op in ("mkdir", "dir-stat", "rmdir"):
+        ratio = res["btree"][op] / res["hash"][op]
+        assert 0.85 < ratio < 1.15, (op, ratio)

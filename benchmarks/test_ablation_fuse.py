@@ -1,0 +1,46 @@
+"""Ablation: FUSE mount vs native locolib interface (paper §3.1, §4.1.2).
+
+The paper offers both interfaces but abandons FUSE for the evaluation
+because its per-request overhead is "not negligible in a high-performance
+distributed file system" (citing Vangoor et al.).  This bench quantifies
+that choice on our stack.
+"""
+
+from conftest import once
+
+from repro.common.config import ClusterConfig
+from repro.core.fs import LocoFS
+from repro.core.fuse import O_CREAT, O_RDWR, LocoFuse
+
+
+def run_pair(n_ops: int = 60):
+    fs = LocoFS(ClusterConfig(num_metadata_servers=4))
+    native = fs.client()
+    native.mkdir("/native")
+    t0 = fs.engine.now
+    for i in range(n_ops):
+        native.create(f"/native/f{i}")
+        native.stat_file(f"/native/f{i}")
+    native_us = (fs.engine.now - t0) / (2 * n_ops)
+
+    fuse = LocoFuse(fs.client())
+    fuse.mkdir("/fused")
+    t0 = fs.engine.now
+    for i in range(n_ops):
+        fd = fuse.open(f"/fused/f{i}", O_CREAT | O_RDWR)
+        fuse.close(fd)
+        fuse.stat(f"/fused/f{i}")
+    # open+close+stat ≈ 3 syscalls but open-with-create issues 2 client ops
+    fuse_us = (fs.engine.now - t0) / (2 * n_ops)
+    return native_us, fuse_us
+
+
+def test_ablation_fuse_overhead(benchmark, show):
+    native_us, fuse_us = once(benchmark, run_pair)
+    show(f"== Ablation: interface overhead (per metadata op)\n"
+         f"  locolib (native): {native_us:7.1f} µs\n"
+         f"  FUSE mount:       {fuse_us:7.1f} µs\n"
+         f"  FUSE penalty:     {fuse_us / native_us:7.2f}x")
+    # FUSE costs measurably more per op but is not catastrophic
+    assert fuse_us > 1.05 * native_us
+    assert fuse_us < 3.0 * native_us

@@ -1,0 +1,44 @@
+"""Ablation: data replication factor (the knob the paper's §4.3 forgoes).
+
+Write-latency cost of R-way replication across I/O sizes: at metadata-
+bound sizes the replicas ride the same round trip almost for free; at
+bandwidth-bound sizes the client uplink pays for every copy.
+"""
+
+from conftest import once
+
+from repro.common.config import ClusterConfig
+from repro.core.fs import LocoFS
+
+
+def write_latency(replicas: int, size: int, n: int = 15) -> float:
+    fs = LocoFS(ClusterConfig(num_metadata_servers=2, num_object_servers=6,
+                              data_replicas=replicas))
+    c = fs.client()
+    c.mkdir("/d")
+    t0 = fs.engine.now
+    for i in range(n):
+        c.create(f"/d/f{i}")
+        c.write(f"/d/f{i}", 0, b"x" * size)
+    return (fs.engine.now - t0) / n
+
+
+def test_ablation_replication(benchmark, show):
+    sizes = (512, 65536, 1048576)
+
+    def run():
+        return {r: {s: write_latency(r, s) for s in sizes} for r in (1, 2, 3)}
+
+    rows = once(benchmark, run)
+    lines = ["== Ablation: write latency vs replication factor (µs per create+write)"]
+    for r, series in rows.items():
+        lines.append("  R=%d: " % r + "  ".join(f"{s}B {v:,.0f}" for s, v in series.items()))
+    show("\n".join(lines))
+    # metadata-bound: replication nearly free
+    assert rows[3][512] < 1.5 * rows[1][512]
+    # bandwidth-bound: R copies cross the uplink
+    assert rows[3][1048576] > 2.0 * rows[1][1048576]
+    assert rows[2][1048576] > 1.5 * rows[1][1048576]
+    # monotone in R at every size
+    for s in sizes:
+        assert rows[1][s] <= rows[2][s] <= rows[3][s]

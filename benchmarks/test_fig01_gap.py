@@ -1,0 +1,25 @@
+"""Fig. 1 — performance gap between DFS metadata and a raw KV store."""
+
+from conftest import once
+
+from repro.experiments import fig01_gap
+from repro.harness import LABELS
+
+SERVERS = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig01_gap(benchmark, show):
+    res = once(benchmark, lambda: fig01_gap.run(
+        server_counts=SERVERS, items_per_client=30, client_scale=0.3))
+    show(res)
+    kv = res.extras["kv_iops"]
+    for name in ("lustre-d1", "cephfs", "indexfs"):
+        series = res.rows[LABELS[name]]
+        # every DFS is far below the KV line at one server (the gap)...
+        assert series[1] < 0.35 * kv
+        # ...and scales with servers
+        assert series[SERVERS[-1]] > 2.0 * series[1]
+    # CephFS has the widest gap (heaviest software path)
+    assert res.rows[LABELS["cephfs"]][1] < res.rows[LABELS["lustre-d1"]][1]
+    # IndexFS needs an order of magnitude more servers to close the gap
+    assert res.rows[LABELS["indexfs"]][1] < 0.12 * kv

@@ -1,0 +1,32 @@
+"""Fig. 6 — touch/mkdir latency normalized to RTT, 1-16 metadata servers."""
+
+from conftest import once
+
+from repro.experiments import fig06_latency
+
+SERVERS = (1, 2, 4, 8, 16)
+
+
+def test_fig06_latency(benchmark, show):
+    res = once(benchmark, lambda: fig06_latency.run(server_counts=SERVERS, n_items=50))
+    show(res["touch"], res["mkdir"])
+    touch, mkdir = res["touch"].rows, res["mkdir"].rows
+
+    # mkdir: LocoFS ≈ one DMS round trip (paper: 1.1x RTT), flat in servers
+    for k in SERVERS:
+        assert mkdir["LocoFS-C"][k] < 1.6
+        assert mkdir["LocoFS-NC"][k] < 1.6
+    # LocoFS has the lowest touch and mkdir latency everywhere
+    for other in ("Lustre D1", "Lustre D2", "CephFS", "Gluster"):
+        for k in SERVERS:
+            assert touch["LocoFS-C"][k] < touch[other][k]
+            assert mkdir["LocoFS-C"][k] < mkdir[other][k]
+    # Gluster's directory synchronization makes its mkdir worst, and worse
+    # as bricks are added
+    for k in SERVERS:
+        assert mkdir["Gluster"][k] == max(mkdir[s][k] for s in mkdir)
+    assert mkdir["Gluster"][16] > mkdir["Gluster"][1]
+    # touch latency rises with server count for LocoFS-C (connection churn,
+    # §4.2.1 obs. 2) but stays well below 2x NC
+    assert touch["LocoFS-C"][16] > touch["LocoFS-C"][1]
+    assert touch["LocoFS-NC"][1] > 1.8 * touch["LocoFS-C"][1]

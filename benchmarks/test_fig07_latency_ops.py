@@ -1,0 +1,28 @@
+"""Fig. 7 — readdir/rmdir/rm/dir-stat/file-stat latency at 16 MDS."""
+
+from conftest import once
+
+from repro.experiments import fig07_latency_ops
+
+
+def test_fig07_latency_ops(benchmark, show):
+    res = once(benchmark, lambda: fig07_latency_ops.run(num_servers=16, n_items=50))
+    show(res)
+    rows = res.rows
+
+    # LocoFS beats Lustre and Gluster for rm / dir-stat / file-stat
+    # (direct file locating, no path traversal)
+    for op in ("rm", "dir-stat", "file-stat"):
+        for other in ("Lustre D1", "Lustre D2", "Gluster"):
+            assert rows[other][op] > rows["LocoFS-C"][op]
+    # CephFS's client cache gives it the lowest file-stat (paper obs. 3)
+    assert rows["CephFS"]["file-stat"] < rows["LocoFS-C"]["file-stat"]
+    # readdir/rmdir must consult every FMS: LocoFS is merely comparable,
+    # not better, than Lustre/Gluster there (within ~2.5x)
+    for op in ("readdir", "rmdir"):
+        assert rows["LocoFS-C"][op] > 0.3 * min(
+            rows["Lustre D1"][op], rows["Gluster"][op]
+        )
+        assert rows["LocoFS-C"][op] < 2.5 * max(
+            rows["Lustre D1"][op], rows["Gluster"][op]
+        )

@@ -1,0 +1,48 @@
+"""Fig. 8 — throughput of six metadata ops while scaling servers 1-16."""
+
+from conftest import once
+
+from repro.experiments import fig08_throughput
+
+SERVERS = (1, 4, 16)
+
+
+def test_fig08_throughput(benchmark, show):
+    res = once(benchmark, lambda: fig08_throughput.run(
+        server_counts=SERVERS, items_per_client=25, client_scale=0.25))
+    show(*[res[op] for op in ("touch", "mkdir", "rm", "rmdir", "file-stat", "dir-stat")])
+
+    touch = res["touch"].rows
+    # (1) one-server create: LocoFS far above every baseline (paper: 67x
+    #     CephFS, 23x Gluster, 8x Lustre)
+    assert touch["LocoFS-C"][1] > 20 * touch["CephFS"][1]
+    assert touch["LocoFS-C"][1] > 5 * touch["Gluster"][1]
+    assert touch["LocoFS-C"][1] > 3 * touch["Lustre D1"][1]
+    # (2) client cache matters at scale: LocoFS-C >> LocoFS-NC at 16 servers
+    assert touch["LocoFS-C"][16] > 1.5 * touch["LocoFS-NC"][16]
+    # (3) touch scales with servers for LocoFS-C
+    assert touch["LocoFS-C"][16] > 1.5 * touch["LocoFS-C"][1]
+
+    mkdir = res["mkdir"].rows
+    # (4) mkdir scales worse for LocoFS (single DMS) than for Lustre, whose
+    #     MDSes handle mkdir in parallel (paper obs. 3); both gain from the
+    #     growing Table-3 client pool, so compare the *scaling factors*
+    loco_scaling = mkdir["LocoFS-C"][16] / mkdir["LocoFS-C"][1]
+    lustre_scaling = mkdir["Lustre D1"][16] / mkdir["Lustre D1"][1]
+    assert loco_scaling < 0.75 * lustre_scaling
+    # the single DMS still out-throughputs CephFS/Gluster in absolute terms
+    assert mkdir["LocoFS-C"][16] > mkdir["CephFS"][16]
+    assert mkdir["LocoFS-C"][16] > mkdir["Gluster"][16]
+
+    # (5) rm: LocoFS outperforms every baseline at every scale
+    rm = res["rm"].rows
+    for other in ("Lustre D1", "CephFS", "Gluster"):
+        for k in SERVERS:
+            assert rm["LocoFS-C"][k] > rm[other][k]
+
+    # (6) stats: CephFS's client cache beats LocoFS (paper obs. 4);
+    #     LocoFS still beats Lustre and Gluster
+    fstat = res["file-stat"].rows
+    assert fstat["CephFS"][16] > fstat["LocoFS-C"][16]
+    for other in ("Lustre D1", "Gluster"):
+        assert fstat["LocoFS-C"][16] > fstat[other][16]

@@ -1,0 +1,24 @@
+"""Fig. 9 — create throughput as % of a single-node raw KV store."""
+
+from conftest import once
+
+from repro.experiments import fig09_bridging_gap
+
+SERVERS = (1, 2, 4, 8, 16)
+
+
+def test_fig09_bridging_gap(benchmark, show):
+    res = once(benchmark, lambda: fig09_bridging_gap.run(
+        server_counts=SERVERS, items_per_client=30, client_scale=0.35))
+    show(res)
+    loco = res.rows["LocoFS-C"]
+    indexfs = res.rows["IndexFS"]
+    # paper: ~38% of raw KV with one metadata server
+    assert 20 <= loco[1] <= 60
+    # paper: ~93-100% of single-node KV with 8-16 servers
+    assert loco[8] >= 70
+    assert loco[16] >= 85
+    # paper: IndexFS is ~18% at 8 nodes — far below LocoFS everywhere
+    assert indexfs[8] < 0.5 * loco[8]
+    for k in SERVERS:
+        assert loco[k] == max(series[k] for series in res.rows.values())

@@ -1,0 +1,45 @@
+"""Fig. 10 — effects of the flattened directory tree (co-located, loopback)."""
+
+from conftest import once
+
+from repro.experiments import fig10_flattened
+
+
+def test_fig10_flattened(benchmark, show):
+    res = once(benchmark, lambda: fig10_flattened.run(n_items=60))
+    show(res)
+    rows = res.rows
+    # LocoFS has the lowest latency for all four ops
+    for op in ("mkdir", "touch", "rm", "rmdir"):
+        assert rows["LocoFS-C"][op] == min(r[op] for r in rows.values())
+    # KV-backed IndexFS beats CephFS and Gluster (paper observation)
+    for op in ("mkdir", "touch"):
+        assert rows["IndexFS"][op] < rows["CephFS"][op]
+        assert rows["IndexFS"][op] < rows["Gluster"][op]
+    # the software-path gap: CephFS and Gluster are an order of magnitude
+    # above LocoFS once the network is out of the picture (paper: 27x/25x)
+    assert rows["CephFS"]["touch"] > 8 * rows["LocoFS-C"]["touch"]
+    assert rows["Gluster"]["touch"] > 4 * rows["LocoFS-C"]["touch"]
+
+
+def test_fig10_network_speedup_asymmetry(benchmark, show):
+    """Paper §4.2.4: a faster network helps LocoFS far more than CephFS or
+    Gluster, whose bottleneck is software."""
+    from repro.harness import run_latency
+    from repro.sim.costmodel import CostModel
+
+    def run():
+        out = {}
+        for name in ("locofs-c", "cephfs", "gluster"):
+            slow = run_latency(name, 1, n_items=30, cost=CostModel()).summary("touch").mean
+            fast = run_latency(name, 1, n_items=30,
+                               cost=CostModel().colocated()).summary("touch").mean
+            out[name] = slow / fast
+        return out
+
+    speedups = once(benchmark, run)
+    show("== Fig. 10 corollary: touch speedup from removing the network\n"
+         + "\n".join(f"  {k}: {v:.1f}x" for k, v in speedups.items()))
+    # LocoFS gains much more from a faster network than the software-bound systems
+    assert speedups["locofs-c"] > 3 * speedups["cephfs"]
+    assert speedups["locofs-c"] > 3 * speedups["gluster"]

@@ -1,0 +1,25 @@
+"""Fig. 11 — effects of decoupled file metadata (LocoFS-DF vs LocoFS-CF)."""
+
+from conftest import once
+
+from repro.experiments import fig11_decoupled
+
+
+def test_fig11_decoupled(benchmark, show):
+    # full Table-3 client pool: the decoupling gain shows when the FMS
+    # service time (value size + serialization) is the bottleneck
+    res = once(benchmark, lambda: fig11_decoupled.run(
+        num_servers=16, items_per_client=12, client_scale=1.0))
+    show(res)
+    rows = res.rows
+    for op in ("chmod", "chown", "access", "truncate"):
+        # decoupling improves every file-metadata op (smaller values,
+        # no (de)serialization)
+        assert rows["LocoFS-DF"][op] >= rows["LocoFS-CF"][op]
+        # and even the coupled variant beats the traditional baselines
+        for other in ("Lustre D1", "CephFS", "Gluster"):
+            assert rows["LocoFS-CF"][op] > rows[other][op]
+    # at least one op should show a tangible (>15%) decoupling gain
+    gains = [rows["LocoFS-DF"][op] / rows["LocoFS-CF"][op]
+             for op in ("chmod", "chown", "access", "truncate")]
+    assert max(gains) > 1.15

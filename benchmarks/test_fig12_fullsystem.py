@@ -1,0 +1,29 @@
+"""Fig. 12 — full-system read/write latency vs I/O size."""
+
+from conftest import once
+
+from repro.experiments import fig12_fullsystem
+
+SIZES = (512, 4096, 32768, 262144, 1048576, 4194304)
+
+
+def test_fig12_fullsystem(benchmark, show):
+    res = once(benchmark, lambda: fig12_fullsystem.run(sizes=SIZES, n_files=25))
+    show(res["write"], res["read"])
+    w, r = res["write"].rows, res["read"].rows
+
+    # small I/O: metadata dominates, LocoFS clearly ahead (paper: write
+    # 1/2..1/5 of the others at 512B; read 1/3..1/50)
+    for other in ("Lustre D1", "CephFS", "Gluster"):
+        assert w[other][512] > 1.5 * w["LocoFS-C"][512]
+        assert r[other][512] > 1.5 * r["LocoFS-C"][512]
+
+    # large I/O: the data path dominates and the systems converge — the
+    # paper's crossover (>=1MB writes, >=256KB reads)
+    for other in ("Lustre D1", "Gluster"):
+        assert w[other][4194304] < 1.3 * w["LocoFS-C"][4194304]
+        assert r[other][1048576] < 1.3 * r["LocoFS-C"][1048576]
+
+    # latency grows monotonically-ish with size once transfers dominate
+    assert w["LocoFS-C"][4194304] > w["LocoFS-C"][32768]
+    assert r["LocoFS-C"][4194304] > r["LocoFS-C"][32768]

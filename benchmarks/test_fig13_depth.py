@@ -1,0 +1,25 @@
+"""Fig. 13 — create-throughput sensitivity to directory depth."""
+
+from conftest import once
+
+from repro.experiments import fig13_depth
+
+DEPTHS = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig13_depth(benchmark, show):
+    res = once(benchmark, lambda: fig13_depth.run(
+        depths=DEPTHS, items_per_client=25, client_scale=0.35))
+    show(res)
+    rows = res.rows
+    for k in (2, 4):
+        nc = rows[f"LocoFS-NC ({k} srv)"]
+        c = rows[f"LocoFS-C ({k} srv)"]
+        # without the client cache, deep trees collapse throughput (paper:
+        # 120K -> 50K at 4 servers): ancestor ACL walks eat the DMS
+        assert nc[32] < 0.7 * nc[1]
+        # the cache absorbs most of the loss
+        assert c[32] > 0.85 * c[1]
+        # and the cached config dominates everywhere
+        for d in DEPTHS:
+            assert c[d] > nc[d]

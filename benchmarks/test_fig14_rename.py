@@ -1,0 +1,46 @@
+"""Fig. 14 — d-rename overhead: hash vs B+-tree DB modes, HDD vs SSD."""
+
+from conftest import once
+
+from repro.experiments import fig14_rename
+
+GROUPS = (500, 1000, 2000, 5000)
+
+
+def test_fig14_rename(benchmark, show):
+    res = once(benchmark, lambda: fig14_rename.run(group_sizes=GROUPS, base_dirs=15000))
+    show(res)
+    rows = res.rows
+    smallest, largest = GROUPS[0], GROUPS[-1]
+    for dev in ("hdd", "ssd"):
+        # B+-tree prefix move beats the hash full scan, most dramatically
+        # when few of many directories move (the paper's 1K-of-10M point)
+        assert rows[f"btree-{dev}"][smallest] < rows[f"hash-{dev}"][smallest]
+        # btree cost is roughly linear in the dirs moved
+        ratio = rows[f"btree-{dev}"][largest] / rows[f"btree-{dev}"][smallest]
+        assert 2.0 < ratio < 25.0
+        # hash cost has a floor set by the namespace size: it grows far
+        # slower than the 10x increase in renamed dirs
+        hratio = rows[f"hash-{dev}"][largest] / rows[f"hash-{dev}"][smallest]
+        assert hratio < 0.7 * (largest / smallest)
+    # HDD and SSD are in the same ballpark (paper: "no big difference"):
+    # sequential log writes, cached reads
+    assert rows["btree-hdd"][largest] < 6 * rows["btree-ssd"][largest]
+    assert rows["hash-hdd"][largest] < 3 * rows["hash-ssd"][largest]
+
+
+def test_fig14_renames_preserve_contents(benchmark):
+    """The timing numbers are only meaningful if the rename really executed."""
+    from repro.common.types import ROOT_CRED
+    from repro.experiments.fig14_rename import _build_dms
+    from repro.sim.costmodel import SSD
+
+    def run():
+        dms = _build_dms("btree", SSD, (300,), base_dirs=100)
+        moved = dms.op_rename("/grp300", "/x", ROOT_CRED)
+        return dms, moved
+
+    dms, moved = once(benchmark, run)
+    assert moved == 300
+    assert dms.op_exists("/x/d0000150")
+    assert not dms.op_exists("/grp300/d0000150")

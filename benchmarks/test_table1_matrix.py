@@ -1,0 +1,15 @@
+"""Table 1 — operation-to-metadata-part access matrix."""
+
+from conftest import once
+
+from repro.experiments import table1_access_matrix
+from repro.experiments.table1_access_matrix import PAPER_MATRIX
+
+
+def test_table1_matrix(benchmark, show):
+    res = once(benchmark, table1_access_matrix.run)
+    show(res)
+    measured = res.extras["measured"]
+    # every row of the paper's Table 1 must match the instrumented servers
+    for op, parts in PAPER_MATRIX.items():
+        assert measured[op] == parts, f"{op}: measured {measured[op]}, paper {parts}"

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""HPC checkpoint workload: N ranks checkpointing into per-job directories.
+
+This is the workload class the paper's introduction motivates: bursts of
+parallel metadata operations (create + small write per rank per
+checkpoint) against a handful of metadata servers.  The script runs the
+same checkpoint burst on LocoFS-with-cache, LocoFS-without-cache, and a
+CephFS-like baseline on the discrete-event engine, and reports the burst
+completion time and aggregate create throughput of each.
+
+Run:  python examples/hpc_checkpoint.py
+"""
+
+from repro.harness import LABELS, make_system
+from repro.sim.rpc import LocalCharge
+
+RANKS = 48
+CHECKPOINTS = 3
+CKPT_BYTES = 8192
+
+
+def rank_process(client, rank: int, cost, done):
+    """One MPI rank: mkdir its job dir once, then checkpoint repeatedly."""
+    jobdir = f"/job/rank{rank:04d}"
+    yield from client.op_generator("mkdir", jobdir)
+    for epoch in range(CHECKPOINTS):
+        path = f"{jobdir}/ckpt{epoch:03d}.bin"
+        yield LocalCharge(cost.client_overhead_us)
+        yield from client.op_generator("create", path)
+        yield from client.op_generator("write", path, 0, b"\x42" * CKPT_BYTES)
+    done.append(rank)
+
+
+def run_system(name: str, num_servers: int = 4) -> tuple[float, float]:
+    system = make_system(name, num_servers, engine_kind="event")
+    engine = system.engine
+    boot = system.client()
+    boot.mkdir("/job")
+    t0 = engine.now
+    done: list[int] = []
+    for rank in range(RANKS):
+        client = system.client()
+        engine.spawn(rank_process(client, rank, system.cost, done),
+                     client=engine.new_client())
+    engine.sim.run()
+    elapsed_s = (engine.now - t0) / 1e6
+    total_creates = RANKS * (1 + CHECKPOINTS)  # mkdir + creates
+    close = getattr(system, "close", None)
+    if close:
+        close()
+    assert len(done) == RANKS
+    return elapsed_s, total_creates / elapsed_s
+
+
+def main() -> None:
+    print(f"checkpoint burst: {RANKS} ranks x {CHECKPOINTS} checkpoints "
+          f"x {CKPT_BYTES} B, 4 metadata servers\n")
+    print(f"{'system':<12}{'burst time':>14}{'metadata ops/s':>18}")
+    print("-" * 44)
+    for name in ("locofs-c", "locofs-nc", "cephfs"):
+        elapsed, iops = run_system(name)
+        print(f"{LABELS[name]:<12}{elapsed:>12.3f} s{iops:>16,.0f}")
+    print("\nLocoFS's flattened tree turns each rank's create into a single")
+    print("FMS round trip (with a warm directory lease), so the burst is")
+    print("bounded by the network, not by metadata-server software.")
+
+
+if __name__ == "__main__":
+    main()

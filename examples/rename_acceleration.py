@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Directory-rename acceleration with the B+-tree DMS (paper §3.4, Fig. 14).
+
+Builds two standalone Directory Metadata Servers — one on the B+-tree
+store (keys in alphabetical order → a d-rename is a contiguous prefix
+move) and one on the hash store (a d-rename must scan every record) —
+populates a namespace, renames directories of increasing size, and prints
+modeled time (HDD device model) and real wall time side by side.
+
+Run:  python examples/rename_acceleration.py
+"""
+
+import time
+
+from repro.common.types import ROOT_CRED
+from repro.core.dms import DirectoryMetadataServer
+from repro.experiments.fig14_rename import DeviceKVPolicy
+from repro.kv.meter import Meter
+from repro.sim.costmodel import HDD, CostModel
+
+BASE_DIRS = 12000
+GROUPS = (500, 2000, 8000)
+
+
+def build(backend: str) -> DirectoryMetadataServer:
+    dms = DirectoryMetadataServer(backend=backend)
+    dms.attach_meter(Meter(DeviceKVPolicy(CostModel(), HDD)))
+    dms.op_mkdir("/base", 0o755, ROOT_CRED, 0.0)
+    for i in range(BASE_DIRS):
+        dms.op_mkdir(f"/base/b{i:06d}", 0o755, ROOT_CRED, 0.0)
+    for n in GROUPS:
+        dms.op_mkdir(f"/grp{n}", 0o755, ROOT_CRED, 0.0)
+        for i in range(n):
+            dms.op_mkdir(f"/grp{n}/d{i:06d}", 0o755, ROOT_CRED, 0.0)
+    return dms
+
+
+def main() -> None:
+    total = BASE_DIRS + sum(GROUPS) + len(GROUPS) + 2
+    print(f"namespace: {total:,} directories; renaming groups of {GROUPS}\n")
+    print(f"{'backend':<8}{'#renamed':>10}{'modeled (HDD)':>16}{'wall time':>12}")
+    print("-" * 46)
+    for backend in ("btree", "hash"):
+        dms = build(backend)
+        for n in GROUPS:
+            before = dms.meter.snapshot()
+            w0 = time.perf_counter()
+            moved = dms.op_rename(f"/grp{n}", f"/moved{n}", ROOT_CRED)
+            wall = time.perf_counter() - w0
+            modeled = (dms.meter.snapshot() - before) / 1e6
+            assert moved == n
+            print(f"{backend:<8}{n:>10,}{modeled:>14.3f} s{wall:>10.3f} s")
+    print("\nThe B+-tree cost is linear in the directories actually moved;")
+    print("the hash store pays a full-namespace scan no matter how few move —")
+    print("which is why LocoFS keys its DMS with an ordered store (§3.4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Run every experiment at reference scale and print all reports.
+
+This regenerates the numbers recorded in EXPERIMENTS.md.  Expect a few
+minutes of wall time; pass ``--quick`` for a fast smoke pass.
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    fig01_gap,
+    fig06_latency,
+    fig07_latency_ops,
+    fig08_throughput,
+    fig09_bridging_gap,
+    fig10_flattened,
+    fig11_decoupled,
+    fig12_fullsystem,
+    fig13_depth,
+    fig14_rename,
+    table1_access_matrix,
+)
+
+QUICK = "--quick" in sys.argv
+
+
+def show(*results) -> None:
+    for r in results:
+        print(r.report())
+        print()
+
+
+def main() -> None:
+    t0 = time.time()
+    scale = 0.15 if QUICK else 0.4
+    items = 10 if QUICK else 35
+
+    show(fig01_gap.run(server_counts=(1, 2, 4, 8, 16, 32),
+                       items_per_client=items, client_scale=scale * 0.8))
+
+    res6 = fig06_latency.run(server_counts=(1, 2, 4, 8, 16), n_items=60)
+    show(res6["touch"], res6["mkdir"])
+
+    show(fig07_latency_ops.run(num_servers=16, n_items=60))
+
+    res8 = fig08_throughput.run(server_counts=(1, 2, 4, 8, 16),
+                                items_per_client=items, client_scale=scale * 0.75)
+    show(*[res8[op] for op in ("touch", "mkdir", "rm", "rmdir", "file-stat", "dir-stat")])
+
+    show(fig09_bridging_gap.run(server_counts=(1, 2, 4, 8, 16),
+                                items_per_client=items, client_scale=scale))
+
+    show(fig10_flattened.run(n_items=80))
+
+    show(fig11_decoupled.run(num_servers=16, items_per_client=12 if not QUICK else 6,
+                             client_scale=1.0))
+
+    res12 = fig12_fullsystem.run(n_files=30 if not QUICK else 8)
+    show(res12["write"], res12["read"])
+
+    show(fig13_depth.run(depths=(1, 2, 4, 8, 16, 32),
+                         items_per_client=items, client_scale=scale))
+
+    show(fig14_rename.run(group_sizes=(1000, 2000, 5000, 10000),
+                          base_dirs=4000 if QUICK else 25000))
+
+    show(table1_access_matrix.run())
+
+    print(f"total wall time: {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Baseline systems the paper evaluates against, on the shared substrate."""
+
+from .codec import decode_inode, encode_inode
+from .placement import (
+    GlusterPlacement,
+    ParentHashPlacement,
+    StripedPlacement,
+    SubtreePlacement,
+)
+from .rawkv import RawKVClient, RawKVServer, RawKVSystem
+from .systems import (
+    BaselineFS,
+    CephFSSystem,
+    GlusterSystem,
+    IndexFSSystem,
+    LustreSystem,
+)
+from .treeclient import GlusterClient, TreeFSClient
+from .treeserver import TreePartitionServer
+
+__all__ = [
+    "decode_inode",
+    "encode_inode",
+    "GlusterPlacement",
+    "ParentHashPlacement",
+    "StripedPlacement",
+    "SubtreePlacement",
+    "RawKVClient",
+    "RawKVServer",
+    "RawKVSystem",
+    "BaselineFS",
+    "CephFSSystem",
+    "GlusterSystem",
+    "IndexFSSystem",
+    "LustreSystem",
+    "GlusterClient",
+    "TreeFSClient",
+    "TreePartitionServer",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: run experiments and inspect deployments.
+
+Usage::
+
+    python -m repro list                      # experiments and systems
+    python -m repro run fig9                  # one experiment, report to stdout
+    python -m repro run all --quick           # everything, scaled down
+    python -m repro latency locofs-c -n 4     # ad-hoc latency run
+    python -m repro throughput cephfs --op touch -n 8
+    python -m repro fsck-demo                 # build, corrupt, detect
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from repro.experiments import REGISTRY
+    from repro.harness import LABELS, SYSTEM_NAMES
+
+    print("experiments:")
+    for name, mod in REGISTRY.items():
+        doc = (mod.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<8} {doc}")
+    print("\nsystems:")
+    for name in SYSTEM_NAMES:
+        print(f"  {name:<12} {LABELS[name]}")
+    return 0
+
+
+def _show(result) -> None:
+    if isinstance(result, dict):
+        for sub in result.values():
+            print(sub.report())
+            print()
+    else:
+        print(result.report())
+        print()
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import REGISTRY
+
+    if args.experiment == "all":
+        names = list(REGISTRY)
+    else:
+        if args.experiment not in REGISTRY:
+            print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+            return 2
+        names = [args.experiment]
+    for name in names:
+        mod = REGISTRY[name]
+        kwargs = {}
+        if args.quick:
+            # every module accepts these where meaningful
+            import inspect
+
+            params = inspect.signature(mod.run).parameters
+            if "items_per_client" in params:
+                kwargs["items_per_client"] = 8
+            if "client_scale" in params:
+                kwargs["client_scale"] = 0.15
+            if "n_items" in params:
+                kwargs["n_items"] = 15
+            if "n_files" in params:
+                kwargs["n_files"] = 5
+            if "base_dirs" in params:
+                kwargs["base_dirs"] = 2000
+            if "group_sizes" in params:
+                kwargs["group_sizes"] = (200, 500)
+        _show(mod.run(**kwargs))
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from repro.harness import run_latency
+
+    rec = run_latency(args.system, args.num_servers, n_items=args.items,
+                      depth=args.depth)
+    print(f"latency of {args.system} at {args.num_servers} server(s), "
+          f"{args.items} items, depth {args.depth}:")
+    for op in rec.ops():
+        s = rec.summary(op)
+        print(f"  {op:<10} mean {s.mean:9.1f} µs   p99 {s.p99:9.1f} µs")
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    from repro.harness import run_throughput
+
+    r = run_throughput(args.system, args.num_servers, op=args.op,
+                       items_per_client=args.items, client_scale=args.client_scale)
+    print(f"{args.system} {args.op} @ {args.num_servers} server(s): "
+          f"{r.iops:,.0f} IOPS ({r.num_clients} clients, {r.total_ops} ops, "
+          f"{r.elapsed_us/1e6:.3f} virtual s)")
+    busiest = max(r.server_utilization.items(), key=lambda kv: kv[1])
+    print(f"busiest server: {busiest[0]} at {busiest[1]:.0%} utilization")
+    return 0
+
+
+def _cmd_fsck_demo(args) -> int:
+    from repro.common.config import ClusterConfig
+    from repro.core.fs import LocoFS
+    from repro.core.fsck import check
+
+    fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+    c = fs.client()
+    c.mkdir("/demo")
+    for i in range(5):
+        c.create(f"/demo/f{i}")
+    print("clean namespace:", check(fs))
+    fs.dms.store.delete(b"I:/demo")
+    del fs.dms._meta["/demo"]
+    report = check(fs)
+    print("after corrupting the DMS:", report)
+    for e in report.errors[:5]:
+        print("  -", e)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LocoFS (SC'17) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and systems")
+
+    p = sub.add_parser("run", help="run an experiment (or 'all')")
+    p.add_argument("experiment")
+    p.add_argument("--quick", action="store_true", help="tiny scales for a smoke pass")
+
+    p = sub.add_parser("latency", help="single-client latency of one system")
+    p.add_argument("system")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--items", type=int, default=50)
+    p.add_argument("--depth", type=int, default=1)
+
+    p = sub.add_parser("throughput", help="closed-loop throughput of one system")
+    p.add_argument("system")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--op", default="touch")
+    p.add_argument("--items", type=int, default=30)
+    p.add_argument("--client-scale", type=float, default=0.5)
+
+    sub.add_parser("fsck-demo", help="build a namespace, corrupt it, detect it")
+
+    args = parser.parse_args(argv)
+    return {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "latency": _cmd_latency,
+        "throughput": _cmd_throughput,
+        "fsck-demo": _cmd_fsck_demo,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

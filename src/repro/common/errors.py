@@ -1,0 +1,75 @@
+"""File-system error hierarchy.
+
+Every system in this repository (LocoFS and the baselines) raises the same
+exception types so that the shared semantics test-suite and the benchmark
+harness can treat them uniformly.  The numeric ``errno`` values mirror the
+POSIX codes so callers can translate to real OS errors if desired.
+"""
+
+from __future__ import annotations
+
+import errno
+
+
+class FSError(Exception):
+    """Base class for all file-system level errors."""
+
+    errno: int = -1
+
+    def __init__(self, path: str = "", msg: str = ""):
+        self.path = path
+        super().__init__(msg or f"{type(self).__name__}: {path}")
+
+
+class NoEntry(FSError):
+    """Path (or one of its components) does not exist (ENOENT)."""
+
+    errno = errno.ENOENT
+
+
+class Exists(FSError):
+    """Target already exists (EEXIST)."""
+
+    errno = errno.EEXIST
+
+
+class NotADirectory(FSError):
+    """A path component that must be a directory is a file (ENOTDIR)."""
+
+    errno = errno.ENOTDIR
+
+
+class IsADirectory(FSError):
+    """A file operation was applied to a directory (EISDIR)."""
+
+    errno = errno.EISDIR
+
+
+class NotEmpty(FSError):
+    """Directory removal attempted on a non-empty directory (ENOTEMPTY)."""
+
+    errno = errno.ENOTEMPTY
+
+
+class PermissionDenied(FSError):
+    """ACL check failed for the caller (EACCES)."""
+
+    errno = errno.EACCES
+
+
+class InvalidArgument(FSError):
+    """Malformed path or unsupported argument (EINVAL)."""
+
+    errno = errno.EINVAL
+
+
+class CrossDevice(FSError):
+    """Rename across incompatible namespaces (EXDEV)."""
+
+    errno = errno.EXDEV
+
+
+class StaleHandle(FSError):
+    """A cached handle or lease is no longer valid (ESTALE)."""
+
+    errno = errno.ESTALE

@@ -1,0 +1,99 @@
+"""Lightweight statistics collection for experiments.
+
+The harness records per-operation latencies (virtual microseconds) and
+derives IOPS and percentile summaries.  Kept dependency-free on the hot
+path; numpy is only used when summarising.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Summary:
+    """Summary statistics over a latency sample (microseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean / 1000.0
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return math.nan
+    idx = min(len(sorted_vals) - 1, max(0, int(round(q * (len(sorted_vals) - 1)))))
+    return sorted_vals[idx]
+
+
+class LatencyRecorder:
+    """Accumulates latency samples grouped by operation name."""
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[float]] = defaultdict(list)
+
+    def record(self, op: str, latency_us: float) -> None:
+        self._samples[op].append(latency_us)
+
+    def count(self, op: str) -> int:
+        return len(self._samples.get(op, ()))
+
+    def ops(self) -> list[str]:
+        return sorted(self._samples)
+
+    def summary(self, op: str) -> Summary:
+        vals = sorted(self._samples.get(op, ()))
+        if not vals:
+            return Summary(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+        return Summary(
+            count=len(vals),
+            mean=sum(vals) / len(vals),
+            p50=_percentile(vals, 0.50),
+            p95=_percentile(vals, 0.95),
+            p99=_percentile(vals, 0.99),
+            minimum=vals[0],
+            maximum=vals[-1],
+        )
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        for op, vals in other._samples.items():
+            self._samples[op].extend(vals)
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+
+@dataclass
+class Counters:
+    """Simple named counters (RPCs issued, cache hits, KV ops, ...)."""
+
+    values: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self.values[name] += by
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.values)
+
+    def clear(self) -> None:
+        self.values.clear()
+
+
+def iops(completed_ops: int, elapsed_us: float) -> float:
+    """Operations per second given a virtual-time window in microseconds."""
+    if elapsed_us <= 0:
+        return 0.0
+    return completed_ops / (elapsed_us / 1_000_000.0)

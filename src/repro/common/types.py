@@ -1,0 +1,89 @@
+"""Shared primitive types and constants used across the metadata service."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+# --- mode bits -------------------------------------------------------------
+S_IFDIR = 0o040000
+S_IFREG = 0o100000
+S_IFMT = 0o170000
+
+DEFAULT_DIR_MODE = 0o755
+DEFAULT_FILE_MODE = 0o644
+
+# permission bit triplets
+R_OK = 4
+W_OK = 2
+X_OK = 1
+
+
+class FileType(enum.IntEnum):
+    """Type tag carried in dirents and inodes."""
+
+    FILE = 1
+    DIRECTORY = 2
+
+
+def is_dir_mode(mode: int) -> bool:
+    return (mode & S_IFMT) == S_IFDIR
+
+
+def is_file_mode(mode: int) -> bool:
+    return (mode & S_IFMT) == S_IFREG
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Identity of the caller used for ACL checks."""
+
+    uid: int = 0
+    gid: int = 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+
+ROOT_CRED = Credentials(0, 0)
+
+
+@dataclass
+class StatResult:
+    """Result of a ``stat`` operation.
+
+    Field names follow ``os.stat_result`` conventions where applicable so
+    examples read naturally.
+    """
+
+    st_mode: int
+    st_uid: int
+    st_gid: int
+    st_size: int
+    st_ctime: float
+    st_mtime: float
+    st_atime: float
+    st_blksize: int = 4096
+    st_uuid: int = 0
+
+    @property
+    def is_dir(self) -> bool:
+        return is_dir_mode(self.st_mode)
+
+    @property
+    def is_file(self) -> bool:
+        return is_file_mode(self.st_mode)
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One entry returned by ``readdir``."""
+
+    name: str
+    uuid: int
+    ftype: FileType
+
+    @property
+    def is_dir(self) -> bool:
+        return self.ftype == FileType.DIRECTORY

@@ -1,0 +1,394 @@
+"""LocoClient — the client library (``locolib``) of LocoFS (paper §3.1).
+
+Directory operations go to the single DMS; file operations go to the FMS
+chosen by consistent hashing on ``directory_uuid + file_name``; data
+operations go straight to the object store.  The client keeps a lease-based
+cache of d-inodes (§3.2.2): with a warm cache a file create touches exactly
+one FMS — the 1-RPC fast path behind the paper's latency and scalability
+results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.common import pathutil
+from repro.common.errors import Exists, IsADirectory, NoEntry, NotEmpty
+from repro.common.types import Credentials, DirEntry, ROOT_CRED, StatResult
+from repro.fsbase import FSClientBase
+from repro.metadata.acl import R_OK
+from repro.metadata.chash import ConsistentHashRing, file_placement_key
+from repro.metadata.lease import LeaseCache
+from repro.sim.rpc import Parallel, Rpc
+
+from .objectstore import BlockPlacement
+
+DMS = "dms"
+
+
+class LocoClient(FSClientBase):
+    """One logical client with its own directory-metadata cache."""
+
+    def __init__(
+        self,
+        engine,
+        fms_names: list[str],
+        placement: BlockPlacement,
+        cred: Credentials = ROOT_CRED,
+        cache_enabled: bool = True,
+        lease_seconds: float = 30.0,
+        cache_capacity: int = 65536,
+        block_size: int = 4096,
+        strict_collisions: bool = False,
+    ):
+        super().__init__(engine, cred)
+        #: see ClusterConfig.strict_collisions — cross-keyspace name checks
+        self.strict_collisions = strict_collisions
+        self.fms_names = list(fms_names)
+        self.ring = ConsistentHashRing()
+        for name in self.fms_names:
+            self.ring.add_node(name)
+        self.placement = placement
+        self.cache_enabled = cache_enabled
+        self.dcache: LeaseCache[dict] = LeaseCache(lease_seconds, cache_capacity)
+        self.block_size = block_size
+
+    # -- placement ------------------------------------------------------------------
+    def _fms_for(self, dir_uuid: int, name: str) -> str:
+        return self.ring.lookup(file_placement_key(dir_uuid, name))
+
+    # -- directory resolution (cache or one DMS RPC) ------------------------------------
+    def _g_dir(self, path: str) -> Generator:
+        """Resolve a directory's d-inode, via the lease cache when enabled."""
+        path = pathutil.normalize(path)
+        if self.cache_enabled:
+            hit = self.dcache.get(path, self.now_us)
+            if hit is not None:
+                return hit
+        info = yield Rpc(DMS, "lookup", (path, self.cred))
+        if self.cache_enabled:
+            self.dcache.put(path, info, self.now_us)
+        return info
+
+    def _g_dir_exists(self, path: str) -> Generator:
+        """Probe the directory service for a name (strict-collision checks)."""
+        return (yield Rpc(DMS, "exists", (path,)))
+
+    def _cache_dir(self, info: dict) -> None:
+        if self.cache_enabled:
+            self.dcache.put(info["path"], info, self.now_us)
+
+    def _check_parent_write(self, info: dict) -> None:
+        """Creating/removing an entry needs W+X on the parent directory.
+
+        The d-inode (cached or freshly fetched) carries mode/uid/gid, so the
+        check happens client-side without an extra DMS round trip.
+        """
+        from repro.metadata.acl import W_OK, X_OK, may_access
+
+        if not may_access(info["mode"], info["uid"], info["gid"], self.cred, W_OK | X_OK):
+            from repro.common.errors import PermissionDenied
+
+            raise PermissionDenied(info["path"])
+
+    # -- directory ops -----------------------------------------------------------------
+    def _g_mkdir(self, path: str, mode: int = 0o755) -> Generator:
+        now = self.now_s
+        path = pathutil.normalize(path)
+        if self.strict_collisions and path != "/":
+            parent, name = pathutil.split(path)
+            info = yield from self._g_dir(parent)
+            fms = self._fms_for(info["uuid"], name)
+            file_exists = yield Rpc(fms, "exists", (info["uuid"], name))
+            if file_exists:
+                raise Exists(path)
+        uuid = yield Rpc(DMS, "mkdir", (path, mode, self.cred, now))
+        self._cache_dir(
+            {"path": path, "uuid": uuid, "mode": 0o040000 | (mode & 0o7777),
+             "uid": self.cred.uid, "gid": self.cred.gid, "ctime": now}
+        )
+        return uuid
+
+    def _g_rmdir(self, path: str) -> Generator:
+        path = pathutil.normalize(path)
+        info = yield from self._g_dir(path)
+        # the DMS cannot see file dirents; every FMS must confirm it holds
+        # none (§4.2.1 observation 3 — the cost of the flattened tree)
+        answers = yield Parallel(
+            [Rpc(name, "has_files", (info["uuid"],)) for name in self.fms_names]
+        )
+        if any(answers):
+            raise NotEmpty(path)
+        yield Rpc(DMS, "rmdir", (path, self.cred))
+        self.dcache.invalidate(path)
+
+    def _g_readdir(self, path: str) -> Generator:
+        path = pathutil.normalize(path)
+        info = yield from self._g_dir(path)
+        uuid = info["uuid"]
+        results = yield Parallel(
+            [Rpc(DMS, "readdir", (path, self.cred))]
+            + [Rpc(name, "readdir", (uuid,)) for name in self.fms_names]
+        )
+        from repro.metadata import dirent as de
+
+        _, subdirs = results[0]
+        entries: list[DirEntry] = list(de.iter_entries(subdirs))
+        for buf in results[1:]:
+            entries.extend(de.iter_entries(buf))
+        entries.sort(key=lambda e: e.name)
+        return entries
+
+    def _g_stat_dir(self, path: str) -> Generator:
+        info = yield from self._g_dir(path)
+        return StatResult(
+            st_mode=info["mode"], st_uid=info["uid"], st_gid=info["gid"],
+            st_size=0, st_ctime=info["ctime"], st_mtime=info["ctime"],
+            st_atime=info["ctime"], st_uuid=info["uuid"],
+        )
+
+    # -- file ops ------------------------------------------------------------------------
+    def _g_create(self, path: str, mode: int = 0o644) -> Generator:
+        now = self.now_s
+        parent, name = pathutil.split(path)
+        if not name:
+            raise Exists(path)
+        info = yield from self._g_dir(parent)
+        self._check_parent_write(info)
+        if self.strict_collisions:
+            dir_exists = yield from self._g_dir_exists(pathutil.join(parent, name))
+            if dir_exists:
+                raise IsADirectory(path)
+        fms = self._fms_for(info["uuid"], name)
+        uuid = yield Rpc(fms, "create", (info["uuid"], name, mode, self.cred, now,
+                                         self.block_size))
+        return uuid
+
+    def _g_stat_file(self, path: str) -> Generator:
+        parent, name = pathutil.split(path)
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        attrs = yield Rpc(fms, "getattr", (info["uuid"], name))
+        return StatResult(
+            st_mode=attrs["mode"], st_uid=attrs["uid"], st_gid=attrs["gid"],
+            st_size=attrs["size"], st_ctime=attrs["ctime"], st_mtime=attrs["mtime"],
+            st_atime=attrs["atime"], st_blksize=attrs["bsize"], st_uuid=attrs["suuid"],
+        )
+
+    def _g_stat(self, path: str) -> Generator:
+        path = pathutil.normalize(path)
+        if path == "/":
+            return (yield from self._g_stat_dir(path))
+        try:
+            return (yield from self._g_stat_file(path))
+        except (NoEntry, IsADirectory):
+            return (yield from self._g_stat_dir(path))
+
+    def _g_open(self, path: str, want: int = R_OK) -> Generator:
+        parent, name = pathutil.split(path)
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        handle = yield Rpc(fms, "open", (info["uuid"], name, self.cred, want))
+        handle["path"] = pathutil.normalize(path)
+        return handle
+
+    def _g_unlink(self, path: str) -> Generator:
+        parent, name = pathutil.split(path)
+        info = yield from self._g_dir(parent)
+        self._check_parent_write(info)
+        fms = self._fms_for(info["uuid"], name)
+        removed = yield Rpc(fms, "remove", (info["uuid"], name, self.cred))
+        if removed["size"] > 0:
+            # data blocks are found by uuid prefix on every object server
+            yield Parallel(
+                [Rpc(name_, "delete_file", (removed["uuid"],))
+                 for name_ in self.placement.names]
+            )
+
+    def _g_chmod(self, path: str, mode: int) -> Generator:
+        now = self.now_s
+        path = pathutil.normalize(path)
+        parent, name = pathutil.split(path)
+        if path == "/":
+            yield Rpc(DMS, "setattr", (path, self.cred, now), {"mode": mode})
+            return
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        try:
+            yield Rpc(fms, "setattr", (info["uuid"], name, self.cred, now), {"mode": mode})
+        except NoEntry:
+            yield Rpc(DMS, "setattr", (path, self.cred, now), {"mode": mode})
+            self.dcache.invalidate(path)
+
+    def _g_chown(self, path: str, uid: int, gid: int) -> Generator:
+        now = self.now_s
+        path = pathutil.normalize(path)
+        parent, name = pathutil.split(path)
+        if path == "/":
+            yield Rpc(DMS, "setattr", (path, self.cred, now), {"uid": uid, "gid": gid})
+            return
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        try:
+            yield Rpc(fms, "setattr", (info["uuid"], name, self.cred, now),
+                      {"uid": uid, "gid": gid})
+        except NoEntry:
+            yield Rpc(DMS, "setattr", (path, self.cred, now), {"uid": uid, "gid": gid})
+            self.dcache.invalidate(path)
+
+    def _g_access(self, path: str, want: int = R_OK) -> Generator:
+        path = pathutil.normalize(path)
+        parent, name = pathutil.split(path)
+        if path == "/":
+            info = yield from self._g_dir(path)
+            from repro.metadata.acl import may_access
+
+            return may_access(info["mode"], info["uid"], info["gid"], self.cred, want)
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        try:
+            return (yield Rpc(fms, "access", (info["uuid"], name, self.cred, want)))
+        except NoEntry:
+            dinfo = yield from self._g_dir(path)
+            from repro.metadata.acl import may_access
+
+            return may_access(dinfo["mode"], dinfo["uid"], dinfo["gid"], self.cred, want)
+
+    def _g_truncate(self, path: str, size: int) -> Generator:
+        now = self.now_s
+        parent, name = pathutil.split(path)
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        yield Rpc(fms, "truncate", (info["uuid"], name, size, now))
+
+    # -- rename (§3.4) ---------------------------------------------------------------------
+    def _g_rename(self, old: str, new: str) -> Generator:
+        old = pathutil.normalize(old)
+        new = pathutil.normalize(new)
+        if old == new:
+            return
+        is_dir = yield Rpc(DMS, "exists", (old,))
+        if is_dir:
+            yield Rpc(DMS, "rename", (old, new, self.cred))
+            self.dcache.invalidate(old)
+            self.dcache.invalidate_prefix(pathutil.dir_key_prefix(old))
+            return
+        yield from self._g_rename_file(old, new)
+
+    def _g_rename_file(self, old: str, new: str) -> Generator:
+        # f-rename: only the file metadata object relocates; data blocks are
+        # keyed by the unchanged uuid and stay put (§3.4.2)
+        src_parent, src_name = pathutil.split(old)
+        dst_parent, dst_name = pathutil.split(new)
+        sinfo = yield from self._g_dir(src_parent)
+        dinfo = yield from self._g_dir(dst_parent)
+        self._check_parent_write(sinfo)
+        self._check_parent_write(dinfo)
+        src_fms = self._fms_for(sinfo["uuid"], src_name)
+        dst_fms = self._fms_for(dinfo["uuid"], dst_name)
+        if self.strict_collisions:
+            src_exists = yield Rpc(src_fms, "exists", (sinfo["uuid"], src_name))
+            if not src_exists:
+                raise NoEntry(old)
+            dst_is_dir = yield from self._g_dir_exists(new)
+            if dst_is_dir:
+                raise Exists(new)
+        dst_exists = yield Rpc(dst_fms, "exists", (dinfo["uuid"], dst_name))
+        if dst_exists:
+            # POSIX rename replaces the destination
+            removed = yield Rpc(dst_fms, "remove", (dinfo["uuid"], dst_name, self.cred))
+            if removed["size"] > 0:
+                yield Parallel(
+                    [Rpc(n, "delete_file", (removed["uuid"],)) for n in self.placement.names]
+                )
+        payload = yield Rpc(src_fms, "export_remove", (sinfo["uuid"], src_name, self.cred))
+        yield Rpc(dst_fms, "import", (dinfo["uuid"], dst_name, payload["access"],
+                                      payload["content"]))
+
+    # -- data path ---------------------------------------------------------------------------
+    def _g_write(self, path: str, offset: int, data: bytes) -> Generator:
+        if offset < 0:
+            raise ValueError("negative offset")
+        now = self.now_s
+        parent, name = pathutil.split(path)
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        meta = yield Rpc(fms, "write_meta", (info["uuid"], name, offset + len(data), now))
+        uuid, bsize = meta["uuid"], meta["bsize"]
+        rpcs = []
+
+        def put_all(blk, payload):
+            # fan out to every replica (one copy crosses the uplink per
+            # replica, which the engines charge via send_bytes)
+            for server in self.placement.replicas_for(uuid, blk):
+                rpcs.append(Rpc(server, "put_block", (uuid, blk, payload),
+                                send_bytes=len(payload)))
+
+        pos = 0
+        while pos < len(data):
+            blk = (offset + pos) // bsize
+            blk_off = (offset + pos) % bsize
+            n = min(bsize - blk_off, len(data) - pos)
+            chunk = data[pos : pos + n]
+            if n == bsize or (blk_off == 0 and offset + pos + n >= meta["size"]):
+                # full block, or a partial block at EOF with no tail data
+                put_all(blk, chunk)
+            else:
+                # partial block: read-modify-write from the primary
+                server = self.placement.locate(uuid, blk)
+                old = yield Rpc(server, "get_block", (uuid, blk), recv_bytes=bsize)
+                buf = bytearray(old.ljust(blk_off + n, b"\x00"))
+                buf[blk_off : blk_off + n] = chunk
+                put_all(blk, bytes(buf))
+            pos += n
+        if rpcs:
+            yield Parallel(rpcs)
+        return len(data)
+
+    def _g_read(self, path: str, offset: int, length: int) -> Generator:
+        now = self.now_s
+        parent, name = pathutil.split(path)
+        info = yield from self._g_dir(parent)
+        fms = self._fms_for(info["uuid"], name)
+        meta = yield Rpc(fms, "read_meta", (info["uuid"], name, now))
+        uuid, bsize, size = meta["uuid"], meta["bsize"], meta["size"]
+        if offset >= size:
+            return b""
+        length = min(length, size - offset)
+        first = offset // bsize
+        last = (offset + length - 1) // bsize
+        blocks = yield Parallel(
+            [Rpc(self.placement.locate(uuid, blk), "get_block", (uuid, blk),
+                 recv_bytes=bsize)
+             for blk in range(first, last + 1)]
+        )
+        if self.placement.replicas > 1:
+            # degraded-read path: an empty primary answer falls back down
+            # the replica chain (a lost block is indistinguishable from a
+            # sparse one only if every replica lost it)
+            for i, blk in enumerate(range(first, last + 1)):
+                if blocks[i]:
+                    continue
+                for server in self.placement.replicas_for(uuid, blk)[1:]:
+                    alt = yield Rpc(server, "get_block", (uuid, blk),
+                                    recv_bytes=bsize)
+                    if alt:
+                        blocks[i] = alt
+                        break
+        out = bytearray()
+        for i, blk in enumerate(range(first, last + 1)):
+            chunk = blocks[i].ljust(bsize, b"\x00") if blk < last else blocks[i]
+            out += chunk
+        start = offset - first * bsize
+        result = bytes(out[start : start + length])
+        return result.ljust(length, b"\x00") if len(result) < length else result
+
+    # -- cache introspection (tests/experiments) ------------------------------------------------
+    @property
+    def cache_stats(self) -> dict:
+        return {
+            "hits": self.dcache.hits,
+            "misses": self.dcache.misses,
+            "entries": len(self.dcache),
+            "hit_rate": self.dcache.hit_rate,
+        }

@@ -1,0 +1,311 @@
+"""Directory Metadata Server (paper §3.1–§3.2).
+
+The single DMS stores *every* directory inode, keyed by the directory's
+full path name in an ordered B+-tree store (Kyoto Cabinet TreeDB in the
+paper).  Because d-inodes in the flattened directory tree carry no forward
+links, each is an independent KV record:
+
+* ``I:<full path>``  -> 256-byte ``DIR_INODE`` value (ctime, mode, uid,
+  gid, uuid — Table 1)
+* ``E:<dir uuid>``   -> concatenated dirents of the directory's
+  *sub-directories* (backward dirent organization, §3.2.1; the files'
+  dirents live on the FMS servers)
+
+Ancestor ACL checks happen entirely inside the DMS with one client RPC
+(§3.1): the walk performs one local KV get per path level, so deep trees
+cost DMS service time but never extra round trips.  A write-through
+in-memory mirror of (mode, uid, gid, uuid) per path supports existence
+and permission bookkeeping and is rebuilt from the store on restart.
+
+A directory rename relocates the directory's own record plus the records
+of all descendant *directories* — a contiguous prefix move in the B+-tree
+(§3.4.3).  Files and data blocks are indexed by UUID and never move.
+"""
+
+from __future__ import annotations
+
+from repro.common import pathutil
+from repro.common.errors import Exists, InvalidArgument, NoEntry, NotEmpty, PermissionDenied
+from repro.common.types import (
+    Credentials,
+    DEFAULT_DIR_MODE,
+    FileType,
+    S_IFDIR,
+)
+from repro.common.uuidgen import ROOT_UUID, UuidAllocator
+from repro.kv import BTreeStore, HashStore
+from repro.kv.meter import Meter
+from repro.metadata import dirent
+from repro.metadata.acl import W_OK, X_OK, may_access
+from repro.metadata.layout import DIR_INODE
+
+_I = b"I:"
+_E = b"E:"
+
+
+def _ikey(path: str) -> bytes:
+    return _I + path.encode("utf-8")
+
+
+def _ekey(uuid: int) -> bytes:
+    return _E + uuid.to_bytes(8, "big")
+
+
+class DirectoryMetadataServer:
+    """Handler object for the single DMS node."""
+
+    #: how many uuids are reserved per durable allocator checkpoint
+    FID_RESERVE = 1024
+    _FID_KEY = b"M:fid_ceiling"
+
+    def __init__(
+        self,
+        backend: str = "btree",
+        sid: int = 0,
+        track_touches: bool = False,
+        wal_path: str | None = None,
+    ):
+        if backend == "btree":
+            self.store = BTreeStore(wal_path=wal_path)
+        elif backend == "hash":
+            self.store = HashStore(wal_path=wal_path)
+        else:
+            raise ValueError(f"unsupported DMS backend: {backend!r}")
+        self.backend = backend
+        self.meter = self.store.meter  # replaced when a cluster attaches its node meter
+        self.alloc = UuidAllocator(sid=sid)
+        # write-through mirror for ancestor ACL walks: path -> (mode, uid, gid, uuid)
+        self._meta: dict[str, tuple[int, int, int, int]] = {}
+        self.track_touches = track_touches
+        self.touches: dict[str, set[str]] = {}
+        if self.store.get(_ikey("/")) is None:
+            self._mkroot()
+        else:
+            self._recover()
+
+    def _mkroot(self) -> None:
+        mode = S_IFDIR | DEFAULT_DIR_MODE
+        buf = DIR_INODE.pack(ctime=0.0, mode=mode, uid=0, gid=0, uuid=ROOT_UUID)
+        self.store.put(_ikey("/"), buf)
+        self.store.put(_ekey(ROOT_UUID), b"")
+        self._meta["/"] = (mode, 0, 0, ROOT_UUID)
+
+    def _recover(self) -> None:
+        """Rebuild the in-memory mirror and uuid allocator after a restart."""
+        for key, buf in self.store.items():
+            if not key.startswith(_I):
+                continue
+            path = key[len(_I):].decode("utf-8")
+            self._meta[path] = (
+                DIR_INODE.read(buf, "mode"),
+                DIR_INODE.read(buf, "uid"),
+                DIR_INODE.read(buf, "gid"),
+                DIR_INODE.read(buf, "uuid"),
+            )
+        ceiling = self.store.get(self._FID_KEY)
+        if ceiling is not None:
+            # skip the reserved range: ids up to the ceiling may be in use
+            self.alloc._next_fid = int.from_bytes(ceiling, "big") + 1
+
+    def _allocate_uuid(self) -> int:
+        """Allocate a uuid, durably reserving id ranges in batches."""
+        from repro.common.uuidgen import uuid_fid
+
+        uuid = self.alloc.allocate()
+        fid = uuid_fid(uuid)
+        ceiling = self.store.get(self._FID_KEY)
+        if ceiling is None or fid > int.from_bytes(ceiling, "big"):
+            self.store.put(self._FID_KEY, (fid + self.FID_RESERVE).to_bytes(8, "big"))
+        return uuid
+
+    # -- wiring ------------------------------------------------------------------
+    def attach_meter(self, meter: Meter) -> None:
+        self.store.meter = meter
+        self.meter = meter
+
+    def _touch(self, op: str, *parts: str) -> None:
+        if self.track_touches:
+            self.touches.setdefault(op, set()).update(parts)
+
+    # -- internals -----------------------------------------------------------------
+    def _acl_walk(self, path: str, cred: Credentials) -> None:
+        """Check search permission on every ancestor of ``path``.
+
+        One *local* KV get per level: all ancestors live on this server, so
+        the walk costs no network round trips (§3.1) — but it is real work,
+        which is why deep trees reduce DMS capacity (Fig. 13).
+        """
+        for anc in pathutil.ancestors(path):
+            buf = self.store.get(_ikey(anc))
+            if buf is None:
+                raise NoEntry(anc)
+            mode = DIR_INODE.read(buf, "mode")
+            uid = DIR_INODE.read(buf, "uid")
+            gid = DIR_INODE.read(buf, "gid")
+            if not may_access(mode, uid, gid, cred, X_OK):
+                raise PermissionDenied(anc)
+
+    def _require_dir(self, path: str) -> tuple[bytes, tuple[int, int, int, int]]:
+        buf = self.store.get(_ikey(path))
+        if buf is None:
+            raise NoEntry(path)
+        meta = self._meta[path]
+        return buf, meta
+
+    # -- directory operations (Table 1 rows) --------------------------------------------
+    def op_mkdir(self, path: str, mode: int, cred: Credentials, now_s: float) -> int:
+        """Create a directory; returns its uuid.  Touches Dir + Dirent parts."""
+        self._touch("mkdir", "dir", "dirent")
+        path = pathutil.normalize(path)
+        if path == "/":
+            raise Exists(path)
+        parent, name = pathutil.split(path)
+        self._acl_walk(path, cred)
+        pmeta = self._meta.get(parent)
+        if pmeta is None:
+            raise NoEntry(parent)
+        pmode, puid, pgid, puuid = pmeta
+        if not may_access(pmode, puid, pgid, cred, W_OK | X_OK):
+            raise PermissionDenied(parent)
+        if self.store.get(_ikey(path)) is not None:
+            raise Exists(path)
+        uuid = self._allocate_uuid()
+        dmode = S_IFDIR | (mode & 0o7777)
+        buf = DIR_INODE.pack(ctime=now_s, mode=dmode, uid=cred.uid, gid=cred.gid, uuid=uuid)
+        self.store.put(_ikey(path), buf)
+        self.store.put(_ekey(uuid), b"")
+        # backward dirent: this directory's entry joins the parent's subdir list
+        self.store.append(_ekey(puuid), dirent.pack_entry(name, uuid, FileType.DIRECTORY))
+        self._meta[path] = (dmode, cred.uid, cred.gid, uuid)
+        return uuid
+
+    def op_lookup(self, path: str, cred: Credentials) -> dict:
+        """Resolve a directory for a client (the cacheable d-inode).
+
+        Performs the full ancestor ACL walk server-side — the reason one
+        DMS round trip suffices for any file operation (§3.1).
+        """
+        self._touch("lookup", "dir")
+        path = pathutil.normalize(path)
+        self._acl_walk(path, cred)
+        buf, (mode, uid, gid, uuid) = self._require_dir(path)
+        return {
+            "path": path,
+            "uuid": uuid,
+            "mode": mode,
+            "uid": uid,
+            "gid": gid,
+            "ctime": DIR_INODE.read(buf, "ctime"),
+        }
+
+    def op_stat(self, path: str, cred: Credentials) -> dict:
+        self._touch("getattr_dir", "dir")
+        return self.op_lookup(path, cred)
+
+    def op_readdir(self, path: str, cred: Credentials) -> tuple[int, bytes]:
+        """Return (uuid, concatenated subdir dirents)."""
+        self._touch("readdir", "dir", "dirent")
+        path = pathutil.normalize(path)
+        self._acl_walk(path, cred)
+        _, (_, _, _, uuid) = self._require_dir(path)
+        return uuid, self.store.get(_ekey(uuid)) or b""
+
+    def op_rmdir(self, path: str, cred: Credentials) -> int:
+        """Remove an *empty* directory (no subdirs; the client has already
+        confirmed no files exist on any FMS).  Returns the removed uuid."""
+        self._touch("rmdir", "dir", "dirent")
+        path = pathutil.normalize(path)
+        if path == "/":
+            raise InvalidArgument(path, "cannot remove root")
+        self._acl_walk(path, cred)
+        _, (_, _, _, uuid) = self._require_dir(path)
+        parent, name = pathutil.split(path)
+        pmeta = self._meta[parent]
+        if not may_access(pmeta[0], pmeta[1], pmeta[2], cred, W_OK | X_OK):
+            raise PermissionDenied(parent)
+        sub = self.store.get(_ekey(uuid)) or b""
+        if dirent.count_entries(sub) > 0:
+            raise NotEmpty(path)
+        self.store.delete(_ikey(path))
+        self.store.delete(_ekey(uuid))
+        pbuf = self.store.get(_ekey(pmeta[3])) or b""
+        newbuf, _ = dirent.remove_entry(pbuf, name)
+        self.store.put(_ekey(pmeta[3]), newbuf)
+        del self._meta[path]
+        return uuid
+
+    def op_setattr(self, path: str, cred: Credentials, now_s: float, mode: int | None = None,
+                   uid: int | None = None, gid: int | None = None) -> None:
+        """chmod/chown on a directory: in-place field writes, no reserialization."""
+        self._touch("chmod_dir" if mode is not None else "chown_dir", "dir")
+        path = pathutil.normalize(path)
+        self._acl_walk(path, cred)
+        buf, (omode, ouid, ogid, uuid) = self._require_dir(path)
+        if not cred.is_root and cred.uid != ouid:
+            raise PermissionDenied(path)
+        key = _ikey(path)
+        if mode is not None:
+            omode = (omode & ~0o7777) | (mode & 0o7777)
+            self.store.write_at(key, DIR_INODE.offset("mode"), DIR_INODE.encode_field("mode", omode))
+        if uid is not None:
+            ouid = uid
+            self.store.write_at(key, DIR_INODE.offset("uid"), DIR_INODE.encode_field("uid", uid))
+        if gid is not None:
+            ogid = gid
+            self.store.write_at(key, DIR_INODE.offset("gid"), DIR_INODE.encode_field("gid", gid))
+        self.store.write_at(key, DIR_INODE.offset("ctime"), DIR_INODE.encode_field("ctime", now_s))
+        self._meta[path] = (omode, ouid, ogid, uuid)
+
+    def op_rename(self, old: str, new: str, cred: Credentials) -> int:
+        """d-rename: contiguous prefix move of descendant d-inodes (§3.4).
+
+        Files and data blocks are indexed by uuid and do not move.  Returns
+        the number of descendant directory records relocated (excluding the
+        renamed directory itself).
+        """
+        self._touch("rename_dir", "dir", "dirent")
+        old = pathutil.normalize(old)
+        new = pathutil.normalize(new)
+        if old == "/" or new == "/":
+            raise InvalidArgument(old, "cannot rename root")
+        if old == new:
+            return 0
+        if pathutil.is_ancestor(old, new):
+            raise InvalidArgument(new, "cannot move a directory into itself")
+        self._acl_walk(old, cred)
+        self._acl_walk(new, cred)
+        buf, (mode, uid, gid, uuid) = self._require_dir(old)
+        if self.store.get(_ikey(new)) is not None:
+            raise Exists(new)
+        old_parent, old_name = pathutil.split(old)
+        new_parent, new_name = pathutil.split(new)
+        npmeta = self._meta.get(new_parent)
+        if npmeta is None:
+            raise NoEntry(new_parent)
+        # move the directory's own record
+        self.store.delete(_ikey(old))
+        self.store.put(_ikey(new), buf)
+        # move all descendant directory records: one contiguous prefix in
+        # the B+-tree; a full scan in the hash store (Fig. 14 contrast)
+        moved = self.store.move_prefix(
+            _I + pathutil.dir_key_prefix(old).encode(), _I + pathutil.dir_key_prefix(new).encode()
+        )
+        # fix parent dirent lists
+        opmeta = self._meta[old_parent]
+        pbuf = self.store.get(_ekey(opmeta[3])) or b""
+        pbuf, _ = dirent.remove_entry(pbuf, old_name)
+        self.store.put(_ekey(opmeta[3]), pbuf)
+        self.store.append(_ekey(npmeta[3]), dirent.pack_entry(new_name, uuid, FileType.DIRECTORY))
+        # refresh the in-memory mirror
+        self._meta[new] = self._meta.pop(old)
+        old_prefix = pathutil.dir_key_prefix(old)
+        for p in [p for p in self._meta if p.startswith(old_prefix)]:
+            self._meta[pathutil.dir_key_prefix(new) + p[len(old_prefix):]] = self._meta.pop(p)
+        return moved
+
+    def op_exists(self, path: str) -> bool:
+        return self.store.get(_ikey(pathutil.normalize(path))) is not None
+
+    # -- introspection (tests / reporting, not part of the RPC surface) ---------------
+    def num_directories(self) -> int:
+        return len(self._meta)

@@ -1,0 +1,399 @@
+"""File Metadata Server (paper §3.1, §3.3).
+
+Each FMS stores the file inodes that consistent-hash to it.  A file is
+keyed by ``directory_uuid + file_name`` — the same key used on the hash
+ring — so a file create touches exactly one FMS and never depends on
+other file or directory records (flattened directory tree).
+
+Decoupled mode (LocoFS-DF, the paper's design) stores two small
+fixed-length values per file:
+
+* ``A:<fkey>`` -> ``FILE_ACCESS``  (ctime, mode, uid, gid)
+* ``C:<fkey>`` -> ``FILE_CONTENT`` (mtime, atime, size, bsize, suuid, sid)
+
+and updates individual fields in place (no (de)serialization, §3.3.3).
+Coupled mode (LocoFS-CF, the Fig. 11 ablation) stores one big
+``FILE_COUPLED`` value per file and pays a serialization charge on every
+read and write, the way a whole-inode-per-value system (IndexFS) does.
+
+The dirents of the directory's files that live on this FMS are
+concatenated under ``E:<directory_uuid>`` (backward dirent organization).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import Exists, NoEntry, PermissionDenied
+from repro.common.types import Credentials, FileType, S_IFREG
+from repro.common.uuidgen import UuidAllocator
+from repro.kv import HashStore
+from repro.kv.meter import Meter
+from repro.metadata import dirent
+from repro.metadata.acl import may_access
+from repro.metadata.layout import FILE_ACCESS, FILE_CONTENT, FILE_COUPLED
+from repro.sim.costmodel import CostModel
+
+_A = b"A:"
+_C = b"C:"
+_F = b"F:"
+_E = b"E:"
+
+
+def fkey(dir_uuid: int, name: str) -> bytes:
+    return dir_uuid.to_bytes(8, "big") + name.encode("utf-8")
+
+
+class FileMetadataServer:
+    """Handler object for one FMS node."""
+
+    #: how many uuids are reserved per durable allocator checkpoint
+    FID_RESERVE = 1024
+    _FID_KEY = b"M:fid_ceiling"
+
+    def __init__(
+        self,
+        sid: int,
+        decoupled: bool = True,
+        cost: CostModel | None = None,
+        track_touches: bool = False,
+        wal_path: str | None = None,
+    ):
+        self.sid = sid
+        self.decoupled = decoupled
+        self.cost = cost or CostModel()
+        self.store = HashStore(wal_path=wal_path)
+        self.meter = self.store.meter
+        self.alloc = UuidAllocator(sid=sid)
+        self.track_touches = track_touches
+        self.touches: dict[str, set[str]] = {}
+        ceiling = self.store.get(self._FID_KEY)
+        if ceiling is not None:
+            # restart: skip the durably reserved id range
+            self.alloc._next_fid = int.from_bytes(ceiling, "big") + 1
+
+    def _allocate_uuid(self) -> int:
+        """Allocate a file uuid, durably reserving id ranges in batches."""
+        from repro.common.uuidgen import uuid_fid
+
+        uuid = self.alloc.allocate()
+        fid = uuid_fid(uuid)
+        ceiling = self.store.get(self._FID_KEY)
+        if ceiling is None or fid > int.from_bytes(ceiling, "big"):
+            self.store.put(self._FID_KEY, (fid + self.FID_RESERVE).to_bytes(8, "big"))
+        return uuid
+
+    def attach_meter(self, meter: Meter) -> None:
+        self.store.meter = meter
+        self.meter = meter
+
+    def _touch(self, op: str, *parts: str) -> None:
+        if self.track_touches:
+            self.touches.setdefault(op, set()).update(parts)
+
+    # -- coupled-mode helpers (LocoFS-CF ablation) --------------------------------
+    def _get_coupled(self, key: bytes) -> bytes | None:
+        buf = self.store.get(_F + key)
+        if buf is not None:
+            # whole-value deserialization on every read (§2.2.2)
+            self.meter.charge_us(self.cost.serialize_us(len(buf)), "deserialize")
+        return buf
+
+    def _put_coupled(self, key: bytes, buf: bytes) -> None:
+        self.meter.charge_us(self.cost.serialize_us(len(buf)), "serialize")
+        self.store.put(_F + key, buf)
+
+    # -- lookup helpers ----------------------------------------------------------------
+    def _load(self, key: bytes) -> tuple[bytes, bytes]:
+        """Return (access_buf, content_buf) or raise NoEntry."""
+        if self.decoupled:
+            a = self.store.get(_A + key)
+            if a is None:
+                raise NoEntry()
+            c = self.store.get(_C + key)
+            assert c is not None, "access part exists without content part"
+            return a, c
+        buf = self._get_coupled(key)
+        if buf is None:
+            raise NoEntry()
+        return self._split_coupled(buf)
+
+    @staticmethod
+    def _split_coupled(buf: bytes) -> tuple[bytes, bytes]:
+        fields = FILE_COUPLED.unpack(buf)
+        a = FILE_ACCESS.pack(
+            ctime=fields["ctime"], mode=fields["mode"], uid=fields["uid"], gid=fields["gid"]
+        )
+        c = FILE_CONTENT.pack(
+            mtime=fields["mtime"],
+            atime=fields["atime"],
+            size=fields["size"],
+            bsize=fields["bsize"],
+            suuid=fields["suuid"],
+            sid=fields["sid"],
+        )
+        return a, c
+
+    def _store_both(self, key: bytes, a: bytes, c: bytes) -> None:
+        if self.decoupled:
+            self.store.put(_A + key, a)
+            self.store.put(_C + key, c)
+        else:
+            af = FILE_ACCESS.unpack(a)
+            cf = FILE_CONTENT.unpack(c)
+            self._put_coupled(key, FILE_COUPLED.pack(index_blob=b"", **af, **cf))
+
+    def _check_owner(self, a: bytes, cred: Credentials, path_hint: str = "") -> None:
+        if not cred.is_root and cred.uid != FILE_ACCESS.read(a, "uid"):
+            raise PermissionDenied(path_hint)
+
+    # -- operations (Table 1 rows) ---------------------------------------------------
+    def op_create(
+        self, dir_uuid: int, name: str, mode: int, cred: Credentials, now_s: float,
+        bsize: int = 4096,
+    ) -> int:
+        """Create a file inode + its backward dirent.  Touches Access + Dirent."""
+        self._touch("create", "access", "dirent")
+        key = fkey(dir_uuid, name)
+        probe = self.store.get((_A if self.decoupled else _F) + key)
+        if probe is not None:
+            raise Exists(name)
+        uuid = self._allocate_uuid()
+        fmode = S_IFREG | (mode & 0o7777)
+        a = FILE_ACCESS.pack(ctime=now_s, mode=fmode, uid=cred.uid, gid=cred.gid)
+        c = FILE_CONTENT.pack(mtime=now_s, atime=now_s, size=0, bsize=bsize,
+                              suuid=uuid, sid=self.sid)
+        self._store_both(key, a, c)
+        self.store.append(_E + dir_uuid.to_bytes(8, "big"),
+                          dirent.pack_entry(name, uuid, FileType.FILE))
+        return uuid
+
+    def op_getattr(self, dir_uuid: int, name: str) -> dict:
+        """stat on a file reads both parts (Table 1: getattr touches all)."""
+        self._touch("getattr", "access", "content")
+        a, c = self._load(fkey(dir_uuid, name))
+        out = FILE_ACCESS.unpack(a)
+        out.update(FILE_CONTENT.unpack(c))
+        return out
+
+    def op_open(self, dir_uuid: int, name: str, cred: Credentials, want: int) -> dict:
+        """open checks the access part (content read is optional in Table 1)."""
+        self._touch("open", "access")
+        key = fkey(dir_uuid, name)
+        a, c = self._load(key)
+        mode = FILE_ACCESS.read(a, "mode")
+        if not may_access(mode, FILE_ACCESS.read(a, "uid"), FILE_ACCESS.read(a, "gid"),
+                          cred, want):
+            raise PermissionDenied(name)
+        return {"uuid": FILE_CONTENT.read(c, "suuid"), "mode": mode,
+                "size": FILE_CONTENT.read(c, "size")}
+
+    def op_access(self, dir_uuid: int, name: str, cred: Credentials, want: int) -> bool:
+        """access(2): touches only the access part."""
+        self._touch("access", "access")
+        key = fkey(dir_uuid, name)
+        if self.decoupled:
+            a = self.store.get(_A + key)
+            if a is None:
+                raise NoEntry(name)
+        else:
+            a, _ = self._load(key)
+        return may_access(
+            FILE_ACCESS.read(a, "mode"),
+            FILE_ACCESS.read(a, "uid"),
+            FILE_ACCESS.read(a, "gid"),
+            cred,
+            want,
+        )
+
+    def op_setattr(self, dir_uuid: int, name: str, cred: Credentials, now_s: float,
+                   mode: int | None = None, uid: int | None = None,
+                   gid: int | None = None) -> None:
+        """chmod/chown: touches only the access part (Table 1)."""
+        self._touch("chmod" if mode is not None else "chown", "access")
+        key = fkey(dir_uuid, name)
+        if self.decoupled:
+            akey = _A + key
+            a = self.store.get(akey)
+            if a is None:
+                raise NoEntry(name)
+            self._check_owner(a, cred, name)
+            # in-place fixed-offset field writes — no (de)serialization
+            if mode is not None:
+                old = FILE_ACCESS.read(a, "mode")
+                new_mode = (old & ~0o7777) | (mode & 0o7777)
+                self.store.write_at(akey, FILE_ACCESS.offset("mode"),
+                                    FILE_ACCESS.encode_field("mode", new_mode))
+            if uid is not None:
+                self.store.write_at(akey, FILE_ACCESS.offset("uid"),
+                                    FILE_ACCESS.encode_field("uid", uid))
+            if gid is not None:
+                self.store.write_at(akey, FILE_ACCESS.offset("gid"),
+                                    FILE_ACCESS.encode_field("gid", gid))
+            self.store.write_at(akey, FILE_ACCESS.offset("ctime"),
+                                FILE_ACCESS.encode_field("ctime", now_s))
+        else:
+            buf = self._get_coupled(key)
+            if buf is None:
+                raise NoEntry(name)
+            a, _ = self._split_coupled(buf)
+            self._check_owner(a, cred, name)
+            if mode is not None:
+                old = FILE_COUPLED.read(buf, "mode")
+                buf = FILE_COUPLED.write(buf, "mode", (old & ~0o7777) | (mode & 0o7777))
+            if uid is not None:
+                buf = FILE_COUPLED.write(buf, "uid", uid)
+            if gid is not None:
+                buf = FILE_COUPLED.write(buf, "gid", gid)
+            buf = FILE_COUPLED.write(buf, "ctime", now_s)
+            self._put_coupled(key, buf)
+
+    def op_truncate(self, dir_uuid: int, name: str, size: int, now_s: float) -> None:
+        """truncate: touches only the content part (Table 1)."""
+        self._touch("truncate", "content")
+        key = fkey(dir_uuid, name)
+        if self.decoupled:
+            ckey = _C + key
+            c = self.store.get(ckey)
+            if c is None:
+                raise NoEntry(name)
+            self.store.write_at(ckey, FILE_CONTENT.offset("size"),
+                                FILE_CONTENT.encode_field("size", size))
+            self.store.write_at(ckey, FILE_CONTENT.offset("mtime"),
+                                FILE_CONTENT.encode_field("mtime", now_s))
+        else:
+            buf = self._get_coupled(key)
+            if buf is None:
+                raise NoEntry(name)
+            buf = FILE_COUPLED.write(buf, "size", size)
+            buf = FILE_COUPLED.write(buf, "mtime", now_s)
+            self._put_coupled(key, buf)
+
+    def op_write_meta(self, dir_uuid: int, name: str, end_offset: int, now_s: float) -> dict:
+        """Metadata side of a write: extend size, bump mtime (content part).
+
+        Returns what the client needs to place data blocks: uuid and bsize
+        (§3.3.2 — blocks are addressed by uuid + blk_num, there is no
+        per-block index to update).
+        """
+        self._touch("write", "content")
+        key = fkey(dir_uuid, name)
+        if self.decoupled:
+            ckey = _C + key
+            c = self.store.get(ckey)
+            if c is None:
+                raise NoEntry(name)
+            size = FILE_CONTENT.read(c, "size")
+            if end_offset > size:
+                self.store.write_at(ckey, FILE_CONTENT.offset("size"),
+                                    FILE_CONTENT.encode_field("size", end_offset))
+                size = end_offset
+            self.store.write_at(ckey, FILE_CONTENT.offset("mtime"),
+                                FILE_CONTENT.encode_field("mtime", now_s))
+            return {"uuid": FILE_CONTENT.read(c, "suuid"),
+                    "bsize": FILE_CONTENT.read(c, "bsize"), "size": size}
+        buf = self._get_coupled(key)
+        if buf is None:
+            raise NoEntry(name)
+        size = max(FILE_COUPLED.read(buf, "size"), end_offset)
+        buf = FILE_COUPLED.write(buf, "size", size)
+        buf = FILE_COUPLED.write(buf, "mtime", now_s)
+        self._put_coupled(key, buf)
+        return {"uuid": FILE_COUPLED.read(buf, "suuid"),
+                "bsize": FILE_COUPLED.read(buf, "bsize"), "size": size}
+
+    def op_read_meta(self, dir_uuid: int, name: str, now_s: float) -> dict:
+        """Metadata side of a read: atime bump + size/uuid (content part)."""
+        self._touch("read", "content")
+        key = fkey(dir_uuid, name)
+        if self.decoupled:
+            ckey = _C + key
+            c = self.store.get(ckey)
+            if c is None:
+                raise NoEntry(name)
+            self.store.write_at(ckey, FILE_CONTENT.offset("atime"),
+                                FILE_CONTENT.encode_field("atime", now_s))
+            return {"uuid": FILE_CONTENT.read(c, "suuid"),
+                    "bsize": FILE_CONTENT.read(c, "bsize"),
+                    "size": FILE_CONTENT.read(c, "size")}
+        buf = self._get_coupled(key)
+        if buf is None:
+            raise NoEntry(name)
+        buf = FILE_COUPLED.write(buf, "atime", now_s)
+        self._put_coupled(key, buf)
+        return {"uuid": FILE_COUPLED.read(buf, "suuid"),
+                "bsize": FILE_COUPLED.read(buf, "bsize"),
+                "size": FILE_COUPLED.read(buf, "size")}
+
+    def op_remove(self, dir_uuid: int, name: str, cred: Credentials) -> dict:
+        """unlink: touches access + content + dirent (Table 1 'remove')."""
+        self._touch("remove", "access", "content", "dirent")
+        key = fkey(dir_uuid, name)
+        a, c = self._load(key)
+        self._check_owner(a, cred, name)
+        if self.decoupled:
+            self.store.delete(_A + key)
+            self.store.delete(_C + key)
+        else:
+            self.store.delete(_F + key)
+        ekey = _E + dir_uuid.to_bytes(8, "big")
+        buf = self.store.get(ekey) or b""
+        newbuf, _ = dirent.remove_entry(buf, name)
+        self.store.put(ekey, newbuf)
+        return {"uuid": FILE_CONTENT.read(c, "suuid"),
+                "size": FILE_CONTENT.read(c, "size")}
+
+    def op_exists(self, dir_uuid: int, name: str) -> bool:
+        """Cheap existence probe (used by the client's rename path)."""
+        key = fkey(dir_uuid, name)
+        return self.store.get((_A if self.decoupled else _F) + key) is not None
+
+    # -- directory support ------------------------------------------------------------
+    def op_readdir(self, dir_uuid: int) -> bytes:
+        """The dirents of this directory's files that live on this FMS."""
+        self._touch("readdir", "dirent")
+        return self.store.get(_E + dir_uuid.to_bytes(8, "big")) or b""
+
+    def op_has_files(self, dir_uuid: int) -> bool:
+        """rmdir support: does this FMS hold any file of the directory?"""
+        buf = self.store.get(_E + dir_uuid.to_bytes(8, "big")) or b""
+        return dirent.count_entries(buf) > 0
+
+    # -- f-rename support (§3.4.2) -------------------------------------------------------
+    def op_export_remove(self, dir_uuid: int, name: str, cred: Credentials) -> dict:
+        """First half of a cross-FMS f-rename: detach and return the inode.
+
+        The file's uuid is preserved, so its data blocks never move.
+        """
+        self._touch("rename", "access", "content", "dirent")
+        key = fkey(dir_uuid, name)
+        a, c = self._load(key)
+        self._check_owner(a, cred, name)
+        if self.decoupled:
+            self.store.delete(_A + key)
+            self.store.delete(_C + key)
+        else:
+            self.store.delete(_F + key)
+        ekey = _E + dir_uuid.to_bytes(8, "big")
+        buf = self.store.get(ekey) or b""
+        newbuf, _ = dirent.remove_entry(buf, name)
+        self.store.put(ekey, newbuf)
+        return {"access": a, "content": c}
+
+    def op_import(self, dir_uuid: int, name: str, access: bytes, content: bytes) -> None:
+        """Second half of a cross-FMS f-rename."""
+        self._touch("rename", "access", "content", "dirent")
+        key = fkey(dir_uuid, name)
+        if self.decoupled:
+            if self.store.get(_A + key) is not None:
+                raise Exists(name)
+        else:
+            if self.store.get(_F + key) is not None:
+                raise Exists(name)
+        self._store_both(key, access, content)
+        uuid = FILE_CONTENT.read(content, "suuid")
+        self.store.append(_E + dir_uuid.to_bytes(8, "big"),
+                          dirent.pack_entry(name, uuid, FileType.FILE))
+
+    # -- introspection --------------------------------------------------------------------
+    def num_files(self) -> int:
+        prefix = _A if self.decoupled else _F
+        return sum(1 for k, _ in self.store.items() if k.startswith(prefix))

@@ -1,0 +1,45 @@
+"""Figure 6 — touch and mkdir latency normalized to the network RTT.
+
+Single mdtest client; metadata servers scaled 1 → 16; y-axis is operation
+latency divided by one round trip (0.174 ms in the paper's testbed and in
+the default cost model).
+"""
+
+from __future__ import annotations
+
+from repro.harness import LABELS, run_latency
+from repro.sim.costmodel import CostModel
+
+from .common import ExperimentResult
+
+DEFAULT_SYSTEMS = ("locofs-c", "locofs-nc", "lustre-d1", "lustre-d2", "cephfs", "gluster")
+DEFAULT_SERVERS = (1, 2, 4, 8, 16)
+
+
+def run(
+    systems=DEFAULT_SYSTEMS,
+    server_counts=DEFAULT_SERVERS,
+    n_items: int = 60,
+    ops=("touch", "mkdir"),
+) -> dict[str, ExperimentResult]:
+    cost = CostModel()
+    results: dict[str, ExperimentResult] = {}
+    samples: dict[str, dict[str, dict]] = {op: {} for op in ops}
+    for name in systems:
+        for k in server_counts:
+            rec = run_latency(name, k, n_items=n_items, cost=cost, ops=tuple(ops))
+            for op in ops:
+                samples[op].setdefault(LABELS[name], {})[k] = (
+                    rec.summary(op).mean / cost.rtt_us
+                )
+    for op in ops:
+        results[op] = ExperimentResult(
+            experiment="Fig. 6",
+            title=f"{op} latency normalized to one RTT ({cost.rtt_us/1000:.3f} ms)",
+            col_header="system \\ #servers",
+            columns=list(server_counts),
+            rows=samples[op],
+            unit="x RTT",
+            fmt="{:,.2f}",
+        )
+    return results

@@ -1,0 +1,43 @@
+"""Figure 7 — latency of readdir/rmdir/rm/dir-stat/file-stat at 16 MDS,
+normalized to LocoFS-C (the paper's y-axis)."""
+
+from __future__ import annotations
+
+from repro.harness import LABELS, run_latency
+from repro.sim.costmodel import CostModel
+
+from .common import ExperimentResult
+
+DEFAULT_SYSTEMS = ("locofs-c", "locofs-nc", "lustre-d1", "lustre-d2", "cephfs", "gluster")
+OPS = ("readdir", "rmdir", "rm", "dir-stat", "file-stat")
+
+
+def run(
+    systems=DEFAULT_SYSTEMS,
+    num_servers: int = 16,
+    n_items: int = 60,
+) -> ExperimentResult:
+    cost = CostModel()
+    raw: dict[str, dict] = {}
+    for name in systems:
+        rec = run_latency(
+            name, num_servers, n_items=n_items, cost=cost,
+            ops=("dir-stat", "file-stat", "readdir", "rm", "rmdir"),
+        )
+        raw[LABELS[name]] = {op: rec.summary(op).mean for op in OPS}
+    base = raw[LABELS["locofs-c"]]
+    rows = {
+        label: {op: (v[op] / base[op] if base[op] else None) for op in OPS}
+        for label, v in raw.items()
+    }
+    res = ExperimentResult(
+        experiment="Fig. 7",
+        title=f"Operation latency at {num_servers} metadata servers, normalized to LocoFS-C",
+        col_header="system \\ op",
+        columns=list(OPS),
+        rows=rows,
+        unit="x LocoFS-C",
+        fmt="{:,.2f}",
+    )
+    res.extras["raw_us"] = raw
+    return res

@@ -1,0 +1,57 @@
+"""Table 3 — finding the optimal client count per deployment width.
+
+The paper determines Table 3 empirically: "we start from 10 clients while
+adding 10 clients every round until the performance reaches the highest
+point" (§4.2.2).  This experiment reproduces that procedure on the
+closed-loop simulator: sweep the client count for a given system and
+server count, report the throughput curve and its knee (the point where
+another round of clients adds less than ``knee_gain``).
+"""
+
+from __future__ import annotations
+
+from repro.harness import LABELS, run_throughput
+
+from .common import ExperimentResult
+
+DEFAULT_SYSTEMS = ("locofs-c", "lustre-d1", "cephfs")
+
+
+def sweep(system: str, num_servers: int, step: int = 10, max_clients: int = 120,
+          items_per_client: int = 15, knee_gain: float = 0.05) -> tuple[dict, int]:
+    """Throughput per client count, and the knee (the paper's 'optimal')."""
+    curve: dict[int, float] = {}
+    best = 0.0
+    knee = step
+    for n in range(step, max_clients + 1, step):
+        r = run_throughput(system, num_servers, op="touch", num_clients=n,
+                           items_per_client=items_per_client)
+        curve[n] = r.iops
+        if r.iops > best * (1.0 + knee_gain):
+            knee = n
+        if r.iops > best:
+            best = r.iops
+    return curve, knee
+
+
+def run(systems=DEFAULT_SYSTEMS, num_servers: int = 4, step: int = 10,
+        max_clients: int = 100, items_per_client: int = 15) -> ExperimentResult:
+    rows: dict[str, dict] = {}
+    knees: dict[str, int] = {}
+    for name in systems:
+        curve, knee = sweep(name, num_servers, step=step, max_clients=max_clients,
+                            items_per_client=items_per_client)
+        rows[LABELS[name]] = curve
+        knees[LABELS[name]] = knee
+    res = ExperimentResult(
+        experiment="Table 3",
+        title=f"Client-count sweep at {num_servers} metadata servers (touch IOPS)",
+        col_header="system \\ #clients",
+        columns=sorted(next(iter(rows.values()))),
+        rows=rows,
+        unit="IOPS",
+    )
+    for label, knee in knees.items():
+        res.notes.append(f"{label}: gains flatten at ~{knee} clients")
+    res.extras["knees"] = knees
+    return res

@@ -1,0 +1,173 @@
+"""Common client facade shared by LocoFS and every baseline system.
+
+Each system implements the ``_g_<op>`` generator methods (yielding
+:mod:`repro.sim.rpc` commands); this base class provides the public
+synchronous wrappers that drive them through the attached engine, plus the
+``op_generator`` hook the throughput harness uses to run the same
+operations as concurrent simulator processes.
+
+Running every system through one interface is what lets a single
+semantics test-suite and a single benchmark harness cover all six systems.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.common.types import Credentials, DirEntry, ROOT_CRED, StatResult
+
+
+class FSClientBase:
+    """Engine-driven file-system client."""
+
+    #: operation names accepted by :meth:`op_generator`
+    GENERATOR_OPS = (
+        "mkdir",
+        "rmdir",
+        "readdir",
+        "create",
+        "unlink",
+        "stat",
+        "stat_dir",
+        "stat_file",
+        "open",
+        "chmod",
+        "chown",
+        "access",
+        "truncate",
+        "rename",
+        "write",
+        "read",
+    )
+
+    def __init__(self, engine, cred: Credentials = ROOT_CRED):
+        self._engine = engine
+        self.cred = cred
+
+    # -- engine plumbing ---------------------------------------------------------
+    def _run(self, gen: Generator):
+        return self._engine.run(gen)
+
+    @property
+    def now_us(self) -> float:
+        return self._engine.now
+
+    @property
+    def now_s(self) -> float:
+        return self._engine.now / 1_000_000.0
+
+    def op_generator(self, op: str, *args, **kwargs) -> Generator:
+        """Raw operation generator for the throughput harness."""
+        if op not in self.GENERATOR_OPS:
+            raise ValueError(f"unknown operation {op!r}")
+        return getattr(self, "_g_" + op)(*args, **kwargs)
+
+    # -- public API -----------------------------------------------------------------
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        """Create a directory."""
+        self._run(self._g_mkdir(path, mode))
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        self._run(self._g_rmdir(path))
+
+    def readdir(self, path: str) -> list[DirEntry]:
+        """List a directory (files and sub-directories)."""
+        return self._run(self._g_readdir(path))
+
+    def create(self, path: str, mode: int = 0o644) -> None:
+        """Create an empty file (the harness's ``touch``)."""
+        self._run(self._g_create(path, mode))
+
+    def unlink(self, path: str) -> None:
+        """Remove a file."""
+        self._run(self._g_unlink(path))
+
+    def stat(self, path: str) -> StatResult:
+        """stat either a file or a directory."""
+        return self._run(self._g_stat(path))
+
+    def stat_dir(self, path: str) -> StatResult:
+        """stat a path known to be a directory (the harness's dir-stat)."""
+        return self._run(self._g_stat_dir(path))
+
+    def stat_file(self, path: str) -> StatResult:
+        """stat a path known to be a file (the harness's file-stat)."""
+        return self._run(self._g_stat_file(path))
+
+    def open(self, path: str, want: int = 4) -> dict:
+        """Open a file, checking access; returns a handle dict."""
+        return self._run(self._g_open(path, want))
+
+    def chmod(self, path: str, mode: int) -> None:
+        self._run(self._g_chmod(path, mode))
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        self._run(self._g_chown(path, uid, gid))
+
+    def access(self, path: str, want: int = 4) -> bool:
+        return self._run(self._g_access(path, want))
+
+    def truncate(self, path: str, size: int) -> None:
+        self._run(self._g_truncate(path, size))
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename a file or directory."""
+        self._run(self._g_rename(old, new))
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        """Write file data; returns bytes written."""
+        return self._run(self._g_write(path, offset, data))
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        """Read file data."""
+        return self._run(self._g_read(path, offset, length))
+
+    # -- to be provided by each system ------------------------------------------------
+    def _g_mkdir(self, path, mode):  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+    def _g_rmdir(self, path):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_readdir(self, path):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_create(self, path, mode):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_unlink(self, path):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_stat(self, path):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_stat_dir(self, path):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_stat_file(self, path):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_open(self, path, want):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_chmod(self, path, mode):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_chown(self, path, uid, gid):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_access(self, path, want):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_truncate(self, path, size):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_rename(self, old, new):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_write(self, path, offset, data):  # pragma: no cover
+        raise NotImplementedError
+
+    def _g_read(self, path, offset, length):  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,26 @@
+"""mdtest-style benchmark harness: workloads, runners, reporting."""
+
+from .mdtest import FILE_META_OPS, LATENCY_OPS, run_latency
+from .registry import LABELS, SYSTEM_NAMES, make_system
+from .report import format_series, format_table, normalize
+from .runner import ThroughputResult, run_throughput
+from .trace import TraceGenerator
+from .workloads import TABLE3_CLIENTS, Workload, clients_for
+
+__all__ = [
+    "FILE_META_OPS",
+    "LATENCY_OPS",
+    "run_latency",
+    "LABELS",
+    "SYSTEM_NAMES",
+    "make_system",
+    "format_series",
+    "format_table",
+    "normalize",
+    "ThroughputResult",
+    "run_throughput",
+    "TraceGenerator",
+    "TABLE3_CLIENTS",
+    "Workload",
+    "clients_for",
+]

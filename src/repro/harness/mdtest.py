@@ -1,0 +1,111 @@
+"""mdtest-style single-client latency runner (paper §4.2.1, Figs. 6/7/10).
+
+Drives one client through the classic mdtest phases — mkdir, touch
+(create), stat, remove, rmdir, readdir — on the Direct engine and records
+the virtual-time latency of every operation.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import LatencyRecorder
+from repro.sim.costmodel import CostModel
+from repro.sim.rpc import LocalCharge
+
+from .registry import make_system
+from .workloads import Workload
+
+#: phases in execution order; "touch" is mdtest's file-create
+LATENCY_OPS = ("mkdir", "touch", "dir-stat", "file-stat", "readdir", "rm", "rmdir")
+
+#: the Fig. 11 extension ops (modified mdtest, §4.2.5)
+FILE_META_OPS = ("chmod", "chown", "access", "truncate")
+
+
+def _op_call(op: str, wl: Workload, cid: int, n: int):
+    f = wl.file_path(cid, n)
+    d = wl.dir_path(cid, n)
+    return {
+        "touch": ("create", f, wl.file_mode),
+        "mkdir": ("mkdir", d, 0o755),
+        "file-stat": ("stat_file", f),
+        "dir-stat": ("stat_dir", d),
+        "rm": ("unlink", f),
+        "rmdir": ("rmdir", d),
+        "chmod": ("chmod", f, 0o600),
+        "chown": ("chown", f, 1000 + n % 7, 1000),
+        "access": ("access", f, 4),
+        "truncate": ("truncate", f, 4096),
+        "open": ("open", f, 4),
+        "write": ("write", f, 0, b"x" * 4096),
+        "read": ("read", f, 0, 4096),
+    }[op]
+
+
+def _measured(client, cost: CostModel, call):
+    """One measured operation including the client-side software path."""
+    yield LocalCharge(cost.client_overhead_us)
+    result = yield from client.op_generator(*call)
+    return result
+
+
+def run_latency(
+    system_name: str,
+    num_servers: int,
+    n_items: int = 100,
+    depth: int = 1,
+    cost: CostModel | None = None,
+    ops: tuple[str, ...] = LATENCY_OPS,
+) -> LatencyRecorder:
+    """Run the mdtest latency phases; returns per-op latency samples (µs)."""
+    cost = cost or CostModel()
+    system = make_system(system_name, num_servers, cost=cost, engine_kind="direct")
+    engine = system.engine
+    client = system.client()
+    wl = Workload(items_per_client=n_items, depth=depth)
+    rec = LatencyRecorder()
+
+    for path in wl.dir_chain(0):
+        client.mkdir(path)
+
+    def timed(op: str, call) -> None:
+        t0 = engine.now
+        engine.run(_measured(client, cost, call))
+        rec.record(op, engine.now - t0)
+
+    if "mkdir" in ops:
+        for n in range(n_items):
+            timed("mkdir", _op_call("mkdir", wl, 0, n))
+    elif any(o in ops for o in ("dir-stat", "rmdir")):
+        for n in range(n_items):
+            client.mkdir(wl.dir_path(0, n))
+    if "touch" in ops:
+        for n in range(n_items):
+            timed("touch", _op_call("touch", wl, 0, n))
+    elif any(o in ops for o in ("file-stat", "rm", "readdir") + FILE_META_OPS):
+        for n in range(n_items):
+            client.create(wl.file_path(0, n))
+    if "dir-stat" in ops:
+        for n in range(n_items):
+            timed("dir-stat", _op_call("dir-stat", wl, 0, n))
+    if "file-stat" in ops:
+        for n in range(n_items):
+            timed("file-stat", _op_call("file-stat", wl, 0, n))
+    for op in FILE_META_OPS:
+        if op in ops:
+            for n in range(n_items):
+                timed(op, _op_call(op, wl, 0, n))
+    if "readdir" in ops:
+        # the paper reads a directory holding 10 k entries; n_items stands in
+        t0 = engine.now
+        engine.run(_measured(client, cost, ("readdir", wl.work_dir(0))))
+        rec.record("readdir", engine.now - t0)
+    if "rm" in ops:
+        for n in range(n_items):
+            timed("rm", _op_call("rm", wl, 0, n))
+    if "rmdir" in ops:
+        for n in range(n_items):
+            timed("rmdir", _op_call("rmdir", wl, 0, n))
+    close = getattr(system, "close", None)
+    if close:
+        close()
+    return rec

@@ -1,0 +1,96 @@
+"""System registry: build any evaluated system by name.
+
+Names follow the paper's figure legends:
+
+* ``locofs-c`` / ``locofs-nc`` — LocoFS with/without the client directory
+  cache (§4 legend: LocoFS-C / LocoFS-NC)
+* ``locofs-cf`` / ``locofs-df`` — coupled vs decoupled file metadata
+  (Fig. 11; ``locofs-c`` is ``locofs-df``)
+* ``lustre-d1`` / ``lustre-d2`` — Lustre DNE1 / DNE2
+* ``cephfs``, ``gluster``, ``indexfs``, ``rawkv``
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    CephFSSystem,
+    GlusterSystem,
+    IndexFSSystem,
+    LustreSystem,
+    RawKVSystem,
+)
+from repro.common.config import CacheConfig, ClusterConfig
+from repro.core.fs import LocoFS
+from repro.sim.costmodel import CostModel
+
+SYSTEM_NAMES = [
+    "locofs-c",
+    "locofs-nc",
+    "locofs-cf",
+    "locofs-df",
+    "cephfs",
+    "gluster",
+    "lustre-d1",
+    "lustre-d2",
+    "indexfs",
+    "rawkv",
+]
+
+#: display labels used by the report tables (paper legend spelling)
+LABELS = {
+    "locofs-c": "LocoFS-C",
+    "locofs-nc": "LocoFS-NC",
+    "locofs-cf": "LocoFS-CF",
+    "locofs-df": "LocoFS-DF",
+    "cephfs": "CephFS",
+    "gluster": "Gluster",
+    "lustre-d1": "Lustre D1",
+    "lustre-d2": "Lustre D2",
+    "indexfs": "IndexFS",
+    "rawkv": "KyotoCabinet",
+}
+
+
+def make_system(
+    name: str,
+    num_servers: int = 1,
+    cost: CostModel | None = None,
+    engine_kind: str = "direct",
+):
+    """Instantiate a deployment by legend name."""
+    cost = cost or CostModel()
+    if name in ("locofs-c", "locofs-df"):
+        return LocoFS(
+            ClusterConfig(num_metadata_servers=num_servers),
+            cost=cost, engine_kind=engine_kind,
+        )
+    if name == "locofs-nc":
+        return LocoFS(
+            ClusterConfig(num_metadata_servers=num_servers,
+                          cache=CacheConfig(enabled=False)),
+            cost=cost, engine_kind=engine_kind,
+        )
+    if name == "locofs-cf":
+        return LocoFS(
+            ClusterConfig(num_metadata_servers=num_servers,
+                          decoupled_file_metadata=False),
+            cost=cost, engine_kind=engine_kind,
+        )
+    if name == "cephfs":
+        return CephFSSystem(num_metadata_servers=num_servers, cost=cost,
+                            engine_kind=engine_kind)
+    if name == "gluster":
+        return GlusterSystem(num_metadata_servers=num_servers, cost=cost,
+                             engine_kind=engine_kind)
+    if name == "lustre-d1":
+        return LustreSystem(num_metadata_servers=num_servers, dne=1, cost=cost,
+                            engine_kind=engine_kind)
+    if name == "lustre-d2":
+        return LustreSystem(num_metadata_servers=num_servers, dne=2, cost=cost,
+                            engine_kind=engine_kind)
+    if name == "indexfs":
+        return IndexFSSystem(num_metadata_servers=num_servers, cost=cost,
+                             engine_kind=engine_kind)
+    if name == "rawkv":
+        return RawKVSystem(cost=cost, engine_kind=engine_kind)
+    raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")

@@ -1,0 +1,52 @@
+"""Plain-text table formatting for experiment reports.
+
+Every benchmark prints the same rows/series the paper's figures plot, via
+these helpers, so the bench output can be compared to the paper directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    col_header: str,
+    columns: Sequence,
+    rows: Mapping[str, Mapping],
+    unit: str = "",
+    fmt: str = "{:,.0f}",
+) -> str:
+    """Render ``rows[label][column] -> value`` as an aligned text table."""
+    label_w = max([len(col_header)] + [len(str(r)) for r in rows]) + 2
+    col_w = max(12, max((len(str(c)) for c in columns), default=8) + 2)
+    out = [f"== {title}" + (f" ({unit})" if unit else "")]
+    header = f"{col_header:<{label_w}}" + "".join(f"{str(c):>{col_w}}" for c in columns)
+    out.append(header)
+    out.append("-" * len(header))
+    for label, series in rows.items():
+        cells = []
+        for c in columns:
+            v = series.get(c)
+            cells.append(f"{'—':>{col_w}}" if v is None else f"{fmt.format(v):>{col_w}}")
+        out.append(f"{str(label):<{label_w}}" + "".join(cells))
+    return "\n".join(out)
+
+
+def format_series(title: str, points: Mapping, unit: str = "", fmt: str = "{:,.2f}") -> str:
+    out = [f"== {title}" + (f" ({unit})" if unit else "")]
+    for k, v in points.items():
+        out.append(f"  {k}: {fmt.format(v)}")
+    return "\n".join(out)
+
+
+def normalize(rows: Mapping[str, Mapping], base_label: str) -> dict:
+    """Divide every series by the base series (the paper's normalized plots)."""
+    base = rows[base_label]
+    out: dict = {}
+    for label, series in rows.items():
+        out[label] = {
+            c: (v / base[c]) if (c in base and base[c]) else None
+            for c, v in series.items()
+        }
+    return out

@@ -1,0 +1,135 @@
+"""Closed-loop throughput runner (paper §4.2.2, Figs. 1/8/9/11/13).
+
+Spawns Table-3-many client processes on the event engine.  Each run has
+two waves: an unmeasured *setup* wave (working directories, pre-created
+files/dirs for stat/remove phases) and a *measured* wave in which every
+client performs ``items_per_client`` operations of one kind.  Aggregate
+IOPS = total measured ops / virtual elapsed time, with queueing at the
+servers and client-side overhead both included — so saturation (of a
+single DMS, of the client pool, of a journaling MDS) emerges instead of
+being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.stats import iops
+from repro.sim.costmodel import CostModel
+from repro.sim.rpc import LocalCharge
+
+from .mdtest import _op_call
+from .registry import make_system
+from .workloads import Workload, clients_for
+
+
+@dataclass
+class ThroughputResult:
+    system: str
+    op: str
+    num_servers: int
+    num_clients: int
+    total_ops: int
+    elapsed_us: float
+    iops: float
+    server_utilization: dict[str, float]
+
+
+def _setup_gen(client, wl: Workload, cid: int, op: str):
+    """Unmeasured preparation for one client."""
+    for path in wl.dir_chain(cid):
+        yield from client.op_generator("mkdir", path)
+    if op in ("file-stat", "rm", "chmod", "chown", "access", "truncate", "open",
+              "read", "write"):
+        for n in range(wl.items_per_client):
+            yield from client.op_generator("create", wl.file_path(cid, n))
+    elif op in ("dir-stat", "rmdir"):
+        for n in range(wl.items_per_client):
+            yield from client.op_generator("mkdir", wl.dir_path(cid, n))
+
+
+def _measured_gen(client, wl: Workload, cid: int, op: str, cost: CostModel, box: dict):
+    for n in range(wl.items_per_client):
+        yield LocalCharge(cost.client_overhead_us)
+        yield from client.op_generator(*_op_call(op, wl, cid, n))
+        box["ops"] += 1
+
+
+def _rawkv_setup(client, wl: Workload, cid: int, op: str):
+    if op == "get":
+        for n in range(wl.items_per_client):
+            yield from client.op_generator("put", f"k{cid}-{n}".encode(), b"v" * 200)
+
+
+def _rawkv_measured(client, wl: Workload, cid: int, op: str, cost: CostModel, box: dict):
+    for n in range(wl.items_per_client):
+        yield LocalCharge(cost.client_overhead_us)
+        if op == "put":
+            yield from client.op_generator("put", f"k{cid}-{n}".encode(), b"v" * 200)
+        else:
+            yield from client.op_generator("get", f"k{cid}-{n}".encode())
+        box["ops"] += 1
+
+
+def run_throughput(
+    system_name: str,
+    num_servers: int,
+    op: str = "touch",
+    num_clients: int | None = None,
+    items_per_client: int = 60,
+    depth: int = 1,
+    cost: CostModel | None = None,
+    client_scale: float = 1.0,
+) -> ThroughputResult:
+    """One throughput cell: (system, op, #servers) -> aggregate IOPS."""
+    cost = cost or CostModel()
+    if num_clients is None:
+        num_clients = clients_for(system_name, num_servers, scale=client_scale)
+    system = make_system(system_name, num_servers, cost=cost, engine_kind="event")
+    engine = system.engine
+    wl = Workload(items_per_client=items_per_client, depth=depth)
+    rawkv = system_name == "rawkv"
+
+    errors: list[BaseException] = []
+
+    def on_done(value, exc):
+        if exc is not None:
+            errors.append(exc)
+
+    clients = [system.client() for _ in range(num_clients)]
+    # --- setup wave (unmeasured) ---------------------------------------------
+    for cid, client in enumerate(clients):
+        gen = (_rawkv_setup if rawkv else _setup_gen)(client, wl, cid, op)
+        engine.spawn(gen, on_done, client=engine.new_client())
+    engine.sim.run()
+    if errors:
+        raise errors[0]
+    t0 = engine.sim.now
+    # --- measured wave ----------------------------------------------------------
+    box = {"ops": 0}
+    for cid, client in enumerate(clients):
+        gen = (_rawkv_measured if rawkv else _measured_gen)(
+            client, wl, cid, op, cost, box
+        )
+        engine.spawn(gen, on_done, client=engine.new_client())
+    engine.sim.run()
+    if errors:
+        raise errors[0]
+    elapsed = engine.sim.now - t0
+    util = {
+        name: system.cluster[name].utilization(elapsed)
+        for name in system.cluster.names()
+    }
+    close = getattr(system, "close", None)
+    if close:
+        close()
+    return ThroughputResult(
+        system=system_name,
+        op=op,
+        num_servers=num_servers,
+        num_clients=num_clients,
+        total_ops=box["ops"],
+        elapsed_us=elapsed,
+        iops=iops(box["ops"], elapsed),
+        server_utilization=util,
+    )

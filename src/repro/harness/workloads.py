@@ -1,0 +1,79 @@
+"""Workload definitions for the mdtest-style harness.
+
+Mirrors the paper's setup (§4.1.2, §4.2.2): every client works in its own
+top-level directory (mdtest's unique-working-directory mode), creates a
+directory chain of configurable depth, and then performs one operation
+type per phase.  Table 3's client counts are reproduced verbatim and used
+by the throughput experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper Table 3 — the optimal number of clients per metadata-server count.
+TABLE3_CLIENTS: dict[str, dict[int, int]] = {
+    "locofs-nc": {1: 30, 2: 50, 4: 70, 8: 120, 16: 144},
+    "locofs-c": {1: 30, 2: 50, 4: 70, 8: 130, 16: 144},
+    "cephfs": {1: 20, 2: 30, 4: 50, 8: 70, 16: 110},
+    "gluster": {1: 20, 2: 30, 4: 50, 8: 70, 16: 110},
+    "lustre-d1": {1: 40, 2: 60, 4: 90, 8: 120, 16: 192},
+    "lustre-d2": {1: 40, 2: 60, 4: 90, 8: 120, 16: 192},
+}
+
+
+def clients_for(system: str, num_servers: int, scale: float = 1.0) -> int:
+    """Table 3 client count for a system/server-count pair, scaled down for
+    quick runs.  Systems not in Table 3 reuse the closest row."""
+    table = TABLE3_CLIENTS.get(system)
+    if table is None:
+        if system.startswith("locofs"):
+            table = TABLE3_CLIENTS["locofs-c"]
+        elif system in ("indexfs", "rawkv"):
+            table = TABLE3_CLIENTS["lustre-d1"]
+        else:
+            table = TABLE3_CLIENTS["cephfs"]
+    if num_servers in table:
+        n = table[num_servers]
+    else:
+        nearest = min(table, key=lambda k: abs(k - num_servers))
+        n = max(10, int(table[nearest] * num_servers / nearest))
+    return max(2, int(round(n * scale)))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Shape of one mdtest run."""
+
+    #: operations each client performs in the measured phase
+    items_per_client: int = 100
+    #: directory chain depth below the client's working directory
+    depth: int = 1
+    #: file mode for created files
+    file_mode: int = 0o644
+
+    def client_root(self, cid: int) -> str:
+        # top-level per-client directories: this is what lets the
+        # subtree-partitioned baselines spread load across their MDSes
+        return f"/c{cid:04d}"
+
+    def work_dir(self, cid: int) -> str:
+        path = self.client_root(cid)
+        for level in range(self.depth - 1):
+            path += f"/d{level}"
+        return path
+
+    def dir_chain(self, cid: int) -> list[str]:
+        """All directories (top-down) that must exist for this client."""
+        out = [self.client_root(cid)]
+        path = out[0]
+        for level in range(self.depth - 1):
+            path += f"/d{level}"
+            out.append(path)
+        return out
+
+    def file_path(self, cid: int, n: int) -> str:
+        return f"{self.work_dir(cid)}/f{n:06d}"
+
+    def dir_path(self, cid: int, n: int) -> str:
+        return f"{self.work_dir(cid)}/m{n:06d}"

@@ -1,0 +1,102 @@
+"""Abstract key-value store interface.
+
+All three store implementations (LSM-tree, B+-tree, hash table) expose this
+interface.  Keys and values are ``bytes``.  Ordered stores additionally
+support range/prefix scans; the hash store deliberately does not (it must
+full-scan), which is exactly the contrast Fig. 14 of the paper measures.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+
+from .meter import Meter, NullMeter
+
+
+class KVStore(abc.ABC):
+    """Minimal KV contract: get/put/delete plus optional ordered scans."""
+
+    #: whether ``scan``/``prefix_scan`` iterate in key order
+    ordered: bool = False
+
+    def __init__(self, meter: Meter | None = None):
+        self.meter = meter if meter is not None else NullMeter()
+
+    # -- core ---------------------------------------------------------------
+    @abc.abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value for ``key`` or None."""
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True if it existed."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    def contains(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # -- in-place helpers ----------------------------------------------------
+    def append(self, key: bytes, value: bytes) -> None:
+        """Append ``value`` to the existing value (Kyoto Cabinet's append).
+
+        Default implementation is read-modify-write; stores may override
+        with something cheaper.
+        """
+        cur = self.get(key)
+        self.put(key, (cur or b"") + value)
+
+    def write_at(self, key: bytes, offset: int, data: bytes) -> bool:
+        """Overwrite ``len(data)`` bytes of the value at ``offset`` in place.
+
+        This models LocoFS's fixed-length field update that avoids a full
+        value (de)serialization (paper §3.3.3).  Returns False if the key is
+        missing or the write would extend past the end of the value.
+        """
+        cur = self.get(key)
+        if cur is None or offset + len(data) > len(cur):
+            return False
+        self.put(key, cur[:offset] + data + cur[offset + len(data) :])
+        return True
+
+    def read_at(self, key: bytes, offset: int, length: int) -> bytes | None:
+        """Read ``length`` bytes of the value at ``offset``."""
+        cur = self.get(key)
+        if cur is None or offset + length > len(cur):
+            return None
+        return cur[offset : offset + length]
+
+    # -- iteration ------------------------------------------------------------
+    @abc.abstractmethod
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all live entries (ordered stores: in key order)."""
+
+    def keys(self) -> Iterator[bytes]:
+        for k, _ in self.items():
+            yield k
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate entries with start <= key < end (ordered stores only)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support ordered scans")
+
+    def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate entries whose key starts with ``prefix``.
+
+        Ordered stores do this as a cheap range scan; unordered stores must
+        examine every record (and are charged accordingly).
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support prefix scans")
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.contains(key)

@@ -1,0 +1,236 @@
+"""B+-tree key-value store (Kyoto Cabinet TreeDB analogue).
+
+Keys are kept in sorted order, so range scans, prefix scans, and — the
+property LocoFS's d-rename optimization relies on (paper §3.4.3) — cheap
+*prefix moves* are supported: all sub-directories of a directory sort
+contiguously under the directory's path prefix, so renaming relocates one
+contiguous key range instead of scanning the whole store.
+
+Implementation notes: order-``BRANCH`` B+-tree with a linked leaf level.
+Inserts split nodes top-down; deletes remove from the leaf without
+rebalancing (the tree can become sparse under heavy deletion but stays
+correct and ordered — adequate for a metadata store where deletes are a
+minority, and it keeps the code auditable).  An optional WAL provides
+crash recovery like the LSM store.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+
+from .api import KVStore
+from .meter import Meter
+from .wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+BRANCH = 64  # max children of an internal node / max entries of a leaf
+
+
+def prefix_upper_bound(prefix: bytes) -> bytes:
+    p = bytearray(prefix)
+    while p:
+        if p[-1] != 0xFF:
+            p[-1] += 1
+            return bytes(p)
+        p.pop()
+    return b"\xff" * 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] holds the rest
+        self.keys: list[bytes] = []
+        self.children: list[object] = []
+
+
+class BTreeStore(KVStore):
+    """Ordered store with O(log n) point ops and contiguous range scans."""
+
+    ordered = True
+
+    def __init__(self, meter: Meter | None = None, wal_path: str | None = None):
+        super().__init__(meter)
+        self._root: object = _Leaf()
+        self._count = 0
+        self._wal: WriteAheadLog | None = None
+        if wal_path is not None:
+            for op, key, value in WriteAheadLog.replay(wal_path):
+                if op == OP_PUT:
+                    self._insert(key, value)
+                elif op == OP_DELETE:
+                    self._remove(key)
+            self._wal = WriteAheadLog(wal_path)
+
+    # -- navigation ------------------------------------------------------------
+    @staticmethod
+    def _child_index(node: _Internal, key: bytes) -> int:
+        import bisect
+
+        return bisect.bisect_right(node.keys, key)
+
+    def _find_leaf(self, key: bytes) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[self._child_index(node, key)]
+        return node  # type: ignore[return-value]
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node  # type: ignore[return-value]
+
+    # -- core ops ---------------------------------------------------------------
+    def get(self, key: bytes) -> bytes | None:
+        import bisect
+
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            self.meter.charge("get", len(key) + len(leaf.values[i]))
+            return leaf.values[i]
+        self.meter.charge("get", len(key))
+        return None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.meter.charge("put", len(key) + len(value))
+        if self._wal is not None:
+            self._wal.append_put(key, value)
+        self._insert(key, value)
+
+    def _insert(self, key: bytes, value: bytes) -> None:
+        split = self._insert_rec(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert_rec(
+        self, node: object, key: bytes, value: bytes
+    ) -> tuple[bytes, object] | None:
+        """Insert under ``node``; if it splits, return (separator, new right sibling)."""
+        import bisect
+
+        if isinstance(node, _Leaf):
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                return None
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            self._count += 1
+            if len(node.keys) <= BRANCH:
+                return None
+            mid = len(node.keys) // 2
+            right = _Leaf()
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            right.next = node.next
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            node.next = right
+            return right.keys[0], right
+
+        assert isinstance(node, _Internal)
+        idx = self._child_index(node, key)
+        split = self._insert_rec(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right_child = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right_child)
+        if len(node.children) <= BRANCH:
+            return None
+        mid = len(node.children) // 2
+        right = _Internal()
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        up_sep = node.keys[mid - 1]
+        node.keys = node.keys[: mid - 1]
+        node.children = node.children[:mid]
+        return up_sep, right
+
+    def delete(self, key: bytes) -> bool:
+        self.meter.charge("delete", len(key))
+        if self._wal is not None:
+            self._wal.append_delete(key)
+        return self._remove(key)
+
+    def _remove(self, key: bytes) -> bool:
+        import bisect
+
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            del leaf.keys[i]
+            del leaf.values[i]
+            self._count -= 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- iteration ---------------------------------------------------------------
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        leaf: _Leaf | None = self._leftmost_leaf()
+        while leaf is not None:
+            for k, v in zip(list(leaf.keys), list(leaf.values)):
+                self.meter.charge("scan_record", len(k) + len(v))
+                yield k, v
+            leaf = leaf.next
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes]]:
+        import bisect
+
+        self.meter.charge("seek", len(start))
+        leaf: _Leaf | None = self._find_leaf(start)
+        assert leaf is not None
+        i = bisect.bisect_left(leaf.keys, start)
+        while leaf is not None:
+            keys = list(leaf.keys)
+            values = list(leaf.values)
+            while i < len(keys):
+                if keys[i] >= end:
+                    return
+                self.meter.charge("scan_record", len(keys[i]) + len(values[i]))
+                yield keys[i], values[i]
+                i += 1
+            leaf = leaf.next
+            i = 0
+
+    def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        return self.scan(prefix, prefix_upper_bound(prefix))
+
+    # -- rename support -------------------------------------------------------------
+    def move_prefix(self, old_prefix: bytes, new_prefix: bytes) -> int:
+        """Rewrite every key under ``old_prefix`` to start with ``new_prefix``.
+
+        This is the d-rename fast path: the affected keys form one contiguous
+        range, so only ``O(moved)`` records are touched.  Returns the number
+        of records moved.
+        """
+        moved = [(k, v) for k, v in self.scan(old_prefix, prefix_upper_bound(old_prefix))]
+        for k, v in moved:
+            self.delete(k)
+        for k, v in moved:
+            self.put(new_prefix + k[len(old_prefix) :], v)
+        return len(moved)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None

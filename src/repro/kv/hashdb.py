@@ -1,0 +1,78 @@
+"""Hash-table key-value store (Kyoto Cabinet HashDB analogue).
+
+O(1) point operations but *no key ordering*: any prefix-based operation —
+notably relocating a renamed directory's descendants — must examine every
+record.  Fig. 14 of the paper contrasts this against the B+-tree store.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .api import KVStore
+from .meter import Meter
+from .wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+
+class HashStore(KVStore):
+    """dict-backed unordered store with full-scan prefix operations."""
+
+    ordered = False
+
+    def __init__(self, meter: Meter | None = None, wal_path: str | None = None):
+        super().__init__(meter)
+        self._data: dict[bytes, bytes] = {}
+        self._wal: WriteAheadLog | None = None
+        if wal_path is not None:
+            for op, key, value in WriteAheadLog.replay(wal_path):
+                if op == OP_PUT:
+                    self._data[key] = value
+                elif op == OP_DELETE:
+                    self._data.pop(key, None)
+            self._wal = WriteAheadLog(wal_path)
+
+    def get(self, key: bytes) -> bytes | None:
+        value = self._data.get(key)
+        self.meter.charge("get", len(key) + (len(value) if value is not None else 0))
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.meter.charge("put", len(key) + len(value))
+        if self._wal is not None:
+            self._wal.append_put(key, value)
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> bool:
+        self.meter.charge("delete", len(key))
+        if self._wal is not None:
+            self._wal.append_delete(key)
+        return self._data.pop(key, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        for k, v in list(self._data.items()):
+            self.meter.charge("scan_record", len(k) + len(v))
+            yield k, v
+
+    def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Full scan: every record is examined (and charged) regardless of match."""
+        for k, v in list(self._data.items()):
+            self.meter.charge("scan_record", len(k) + len(v))
+            if k.startswith(prefix):
+                yield k, v
+
+    def move_prefix(self, old_prefix: bytes, new_prefix: bytes) -> int:
+        """Rename support; unlike the B+-tree this walks the whole store."""
+        moved = [(k, v) for k, v in self.prefix_scan(old_prefix)]
+        for k, _ in moved:
+            self.delete(k)
+        for k, v in moved:
+            self.put(new_prefix + k[len(old_prefix) :], v)
+        return len(moved)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None

@@ -1,0 +1,257 @@
+"""LSM-tree key-value store (LevelDB analogue).
+
+Write path: WAL append, then skip-list memtable; when the memtable exceeds
+``memtable_limit`` bytes it is flushed to an immutable SSTable.  When more
+than ``max_tables`` SSTables accumulate they are merge-compacted into one
+(size-tiered compaction — simpler than leveled, same asymptotics for the
+workloads here).  Reads consult memtable first, then SSTables newest-first
+with a bloom-filter skip.
+
+Deletions write a tombstone (``None`` value) that shadows older versions
+and is dropped during full compaction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+from collections.abc import Iterator
+
+from .api import KVStore
+from .memtable import SkipListMemtable
+from .meter import Meter
+from .sstable import SSTable, SSTableBuilder
+from .wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+
+def prefix_upper_bound(prefix: bytes) -> bytes:
+    """Smallest byte string greater than every string with ``prefix``."""
+    p = bytearray(prefix)
+    while p:
+        if p[-1] != 0xFF:
+            p[-1] += 1
+            return bytes(p)
+        p.pop()
+    return b"\xff" * 64  # prefix was all 0xff: effectively unbounded
+
+
+class LSMStore(KVStore):
+    """LevelDB-like store.  ``ordered`` supports range and prefix scans."""
+
+    ordered = True
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        memtable_limit: int = 4 << 20,
+        max_tables: int = 6,
+        meter: Meter | None = None,
+        wal_enabled: bool = True,
+        seed: int = 0x5EED,
+    ):
+        super().__init__(meter)
+        self._own_dir = directory is None
+        self.directory = directory or tempfile.mkdtemp(prefix="lsm-")
+        os.makedirs(self.directory, exist_ok=True)
+        self.memtable_limit = memtable_limit
+        self.max_tables = max_tables
+        self._seed = seed
+        self._mem = SkipListMemtable(seed=seed)
+        self._tables: list[SSTable] = []  # newest first
+        self._next_seq = 1
+        self._wal: WriteAheadLog | None = None
+        self._wal_path = os.path.join(self.directory, "wal.log")
+        self._recover()
+        if wal_enabled:
+            self._wal = WriteAheadLog(self._wal_path)
+
+    # -- recovery --------------------------------------------------------------
+    def _recover(self) -> None:
+        """Load existing SSTables and replay the WAL into the memtable."""
+        seqs = []
+        for name in os.listdir(self.directory):
+            if name.endswith(".sst"):
+                table = SSTable(os.path.join(self.directory, name))
+                seqs.append(table.file_seq)
+                self._tables.append(table)
+        self._tables.sort(key=lambda t: t.file_seq, reverse=True)
+        if seqs:
+            self._next_seq = max(seqs) + 1
+        for op, key, value in WriteAheadLog.replay(self._wal_path):
+            if op == OP_PUT:
+                self._mem.put(key, value)
+            elif op == OP_DELETE:
+                self._mem.put(key, None)
+
+    # -- core ops ----------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self.meter.charge("put", len(key) + len(value))
+        if self._wal is not None:
+            self._wal.append_put(key, value)
+        self._mem.put(key, value)
+        if self._mem.approx_bytes >= self.memtable_limit:
+            self.flush()
+
+    def get(self, key: bytes) -> bytes | None:
+        result = self._get_impl(key)
+        self.meter.charge("get", len(key) + (len(result) if result is not None else 0))
+        return result
+
+    def _get_impl(self, key: bytes) -> bytes | None:
+        val = self._mem.get(key)
+        if val is not None:
+            return val
+        # memtable stores tombstones as None, but get() can't distinguish
+        # "absent" from "tombstone" — probe explicitly.
+        if self._mem_contains(key):
+            return self._mem_value(key)
+        for table in self._tables:
+            found, value = table.get(key)
+            if found:
+                return value
+        return None
+
+    def _mem_contains(self, key: bytes) -> bool:
+        for k, _ in self._mem.scan(key, key + b"\x00"):
+            if k == key:
+                return True
+        return False
+
+    def _mem_value(self, key: bytes) -> bytes | None:
+        for k, v in self._mem.scan(key, key + b"\x00"):
+            if k == key:
+                return v
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        self.meter.charge("delete", len(key))
+        existed = self.get(key) is not None
+        if self._wal is not None:
+            self._wal.append_delete(key)
+        self._mem.put(key, None)
+        if self._mem.approx_bytes >= self.memtable_limit:
+            self.flush()
+        return existed
+
+    def __len__(self) -> int:
+        """Count of live keys.  O(n) — intended for tests and reporting."""
+        return sum(1 for _ in self.items())
+
+    # -- iteration ------------------------------------------------------------------
+    def _merged(self, start: bytes | None, end: bytes | None) -> Iterator[tuple[bytes, bytes | None]]:
+        """Merge memtable + all tables, newest version wins, keys ordered."""
+        sources: list[Iterator[tuple[bytes, bytes | None]]] = []
+        if start is None:
+            sources.append(iter(list(self._mem.items())))
+            sources.extend(t.items() for t in self._tables)
+        else:
+            assert end is not None
+            sources.append(iter(list(self._mem.scan(start, end))))
+            sources.extend(t.scan(start, end) for t in self._tables)
+        # age: 0 = memtable (newest), then tables newest-first
+        heap: list[tuple[bytes, int, bytes | None, int]] = []
+        iters = []
+        for age, src in enumerate(sources):
+            iters.append(src)
+            try:
+                k, v = next(src)
+                heap.append((k, age, v, age))
+            except StopIteration:
+                pass
+        heapq.heapify(heap)
+        last_key: bytes | None = None
+        while heap:
+            k, age, v, idx = heapq.heappop(heap)
+            try:
+                nk, nv = next(iters[idx])
+                heapq.heappush(heap, (nk, idx, nv, idx))
+            except StopIteration:
+                pass
+            if k == last_key:
+                continue  # an older version of an already-emitted key
+            last_key = k
+            yield k, v
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        for k, v in self._merged(None, None):
+            if v is not None:
+                self.meter.charge("scan_record", len(k) + len(v))
+                yield k, v
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes]]:
+        self.meter.charge("seek", len(start))
+        for k, v in self._merged(start, end):
+            if v is not None:
+                self.meter.charge("scan_record", len(k) + len(v))
+                yield k, v
+
+    def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        return self.scan(prefix, prefix_upper_bound(prefix))
+
+    # -- flush & compaction ------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the memtable to a new L0 SSTable and reset the WAL."""
+        if len(self._mem) == 0:
+            return
+        path = os.path.join(self.directory, f"{self._next_seq:08d}.sst")
+        builder = SSTableBuilder(path, file_seq=self._next_seq)
+        self._next_seq += 1
+        for k, v in self._mem.items():
+            builder.add(k, v)
+        self._tables.insert(0, builder.finish())
+        self._mem = SkipListMemtable(seed=self._seed)
+        if self._wal is not None:
+            self._wal.truncate()
+        self.meter.charge("flush")
+        if len(self._tables) > self.max_tables:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, dropping tombstones and shadowed versions."""
+        if not self._tables:
+            return
+        merged = []
+        heap: list[tuple[bytes, int, bytes | None, int]] = []
+        iters = [t.items() for t in self._tables]
+        for age, src in enumerate(iters):
+            try:
+                k, v = next(src)
+                heap.append((k, age, v, age))
+            except StopIteration:
+                pass
+        heapq.heapify(heap)
+        last_key: bytes | None = None
+        while heap:
+            k, age, v, idx = heapq.heappop(heap)
+            try:
+                nk, nv = next(iters[idx])
+                heapq.heappush(heap, (nk, idx, nv, idx))
+            except StopIteration:
+                pass
+            if k == last_key:
+                continue
+            last_key = k
+            if v is not None:
+                merged.append((k, v))
+        old = self._tables
+        self._tables = []
+        if merged:
+            path = os.path.join(self.directory, f"{self._next_seq:08d}.sst")
+            builder = SSTableBuilder(path, file_seq=self._next_seq)
+            self._next_seq += 1
+            for k, v in merged:
+                builder.add(k, v)
+            self._tables = [builder.finish()]
+        for t in old:
+            t.remove_file()
+        self.meter.charge("compaction")
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._tables)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None

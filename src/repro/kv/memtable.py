@@ -1,0 +1,121 @@
+"""Skip-list memtable: the in-memory sorted run of the LSM store.
+
+A classic probabilistic skip list (p = 1/4, max 12 levels — LevelDB's
+parameters).  Deterministic given the seed, which keeps the property tests
+reproducible.  Deletions at this layer store a tombstone marker supplied by
+the LSM store; the memtable itself just maps keys to values.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+_MAX_LEVEL = 12
+_P = 0.25
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: bytes | None, value: bytes | None, level: int):
+        self.key = key
+        self.value = value
+        self.forward: list[_Node | None] = [None] * level
+
+
+class SkipListMemtable:
+    """Sorted mapping from bytes keys to bytes values."""
+
+    def __init__(self, seed: int = 0x5EED):
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._count = 0
+        self._approx_bytes = 0
+
+    def _random_level(self) -> int:
+        lvl = 1
+        while lvl < _MAX_LEVEL and self._rng.random() < _P:
+            lvl += 1
+        return lvl
+
+    def _find_predecessors(self, key: bytes) -> list[_Node]:
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[i]
+            update[i] = node
+        return update
+
+    def put(self, key: bytes, value: bytes) -> None:
+        # value may be None: the LSM store uses None as a tombstone marker.
+        vlen = len(value) if value is not None else 0
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            self._approx_bytes += vlen - len(candidate.value or b"")
+            candidate.value = value
+            return
+        lvl = self._random_level()
+        if lvl > self._level:
+            self._level = lvl
+        node = _Node(key, value, lvl)
+        for i in range(lvl):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._count += 1
+        self._approx_bytes += len(key) + vlen + 32
+
+    def get(self, key: bytes) -> bytes | None:
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[i]
+        nxt = node.forward[0]
+        if nxt is not None and nxt.key == key:
+            return nxt.value
+        return None
+
+    def remove(self, key: bytes) -> bool:
+        """Physically remove a key (used when compacting the memtable only)."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for i in range(len(node.forward)):
+            if update[i].forward[i] is node:
+                update[i].forward[i] = node.forward[i]
+        self._count -= 1
+        self._approx_bytes -= len(key) + len(node.value or b"") + 32
+        return True
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approx_bytes(self) -> int:
+        return self._approx_bytes
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.forward[0]
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes]]:
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < start:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[i]
+        node = node.forward[0]
+        while node is not None and node.key < end:  # type: ignore[operator]
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.forward[0]

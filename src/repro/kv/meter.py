@@ -1,0 +1,62 @@
+"""Cost metering for key-value stores.
+
+The timing plane of this reproduction charges each KV operation a modeled
+number of microseconds (see ``repro/sim/costmodel.py`` for the calibrated
+constants).  The stores themselves only report *what* they did — op kind
+and byte counts — and an attached :class:`CostPolicy` translates that into
+virtual time.  With no meter attached the stores run at full speed, which
+is what the functional tests use.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class CostPolicy(Protocol):
+    """Maps a KV operation to a virtual-time cost in microseconds."""
+
+    def cost_us(self, op: str, nbytes: int) -> float:  # pragma: no cover
+        ...
+
+
+class Meter:
+    """Accumulates modeled virtual time and op counts for one store."""
+
+    __slots__ = ("policy", "total_us", "op_counts", "byte_counts")
+
+    def __init__(self, policy: CostPolicy | None = None):
+        self.policy = policy
+        self.total_us = 0.0
+        self.op_counts: dict[str, int] = {}
+        self.byte_counts: dict[str, int] = {}
+
+    def charge(self, op: str, nbytes: int = 0) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        self.byte_counts[op] = self.byte_counts.get(op, 0) + nbytes
+        if self.policy is not None:
+            self.total_us += self.policy.cost_us(op, nbytes)
+
+    def charge_us(self, us: float, op: str = "explicit") -> None:
+        """Charge an explicit amount of virtual time (e.g. serialization)."""
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        self.total_us += us
+
+    def snapshot(self) -> float:
+        """Current accumulated virtual time; pair two snapshots to get a delta."""
+        return self.total_us
+
+    def count(self, op: str) -> int:
+        return self.op_counts.get(op, 0)
+
+    def reset(self) -> None:
+        self.total_us = 0.0
+        self.op_counts.clear()
+        self.byte_counts.clear()
+
+
+class NullMeter(Meter):
+    """A meter that never charges time (still counts ops for assertions)."""
+
+    def __init__(self) -> None:
+        super().__init__(policy=None)

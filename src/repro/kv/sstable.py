@@ -1,0 +1,167 @@
+"""Immutable sorted-string-table files for the LSM store.
+
+Layout (single file)::
+
+    [entry]*            -- sorted by key
+    [index block]       -- (key, offset) every ``index_interval`` entries
+    [bloom block]
+    [footer]            -- offsets + counts + magic
+
+Each entry is ``[flags u8][klen u32][key][vlen u32][value]``; flag bit 0 set
+means tombstone (value empty).  Lookups binary-search the sparse index and
+then scan at most ``index_interval`` entries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import struct
+from collections.abc import Iterator
+
+from .bloom import BloomFilter
+
+_FOOTER = struct.Struct("<QQQQI")  # index_off, bloom_off, n_entries, file_seq, magic
+_MAGIC = 0x55AB1E17
+FLAG_TOMBSTONE = 1
+
+
+def _pack_entry(key: bytes, value: bytes | None) -> bytes:
+    flags = FLAG_TOMBSTONE if value is None else 0
+    v = value or b""
+    return struct.pack("<BI", flags, len(key)) + key + struct.pack("<I", len(v)) + v
+
+
+def _unpack_entry(data: bytes, off: int) -> tuple[bytes, bytes | None, int]:
+    flags, klen = struct.unpack_from("<BI", data, off)
+    off += 5
+    key = data[off : off + klen]
+    off += klen
+    (vlen,) = struct.unpack_from("<I", data, off)
+    off += 4
+    value = data[off : off + vlen]
+    off += vlen
+    return key, (None if flags & FLAG_TOMBSTONE else value), off
+
+
+class SSTableBuilder:
+    """Builds an SSTable from entries supplied in strictly increasing key order."""
+
+    def __init__(self, path: str, file_seq: int = 0, index_interval: int = 16):
+        self.path = path
+        self.file_seq = file_seq
+        self.index_interval = index_interval
+        self._buf = bytearray()
+        self._index: list[tuple[bytes, int]] = []
+        self._keys: list[bytes] = []
+        self._last_key: bytes | None = None
+
+    def add(self, key: bytes, value: bytes | None) -> None:
+        if self._last_key is not None and key <= self._last_key:
+            raise ValueError("keys must be added in strictly increasing order")
+        self._last_key = key
+        if len(self._keys) % self.index_interval == 0:
+            self._index.append((key, len(self._buf)))
+        self._keys.append(key)
+        self._buf += _pack_entry(key, value)
+
+    def finish(self) -> "SSTable":
+        if not self._keys:
+            raise ValueError("cannot build an empty SSTable")
+        index_off = len(self._buf)
+        index = bytearray()
+        index += struct.pack("<I", len(self._index))
+        for key, off in self._index:
+            index += struct.pack("<IQ", len(key), off) + key
+        bloom = BloomFilter(len(self._keys))
+        for k in self._keys:
+            bloom.add(k)
+        bloom_bytes = bloom.to_bytes()
+        bloom_off = index_off + len(index)
+        footer = _FOOTER.pack(index_off, bloom_off, len(self._keys), self.file_seq, _MAGIC)
+        with open(self.path, "wb") as fh:
+            fh.write(self._buf)
+            fh.write(index)
+            fh.write(bloom_bytes)
+            fh.write(footer)
+        return SSTable(self.path)
+
+
+class SSTable:
+    """Read-only view over a finished SSTable file (fully memory-resident)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if len(data) < _FOOTER.size:
+            raise ValueError(f"SSTable too short: {path}")
+        index_off, bloom_off, n_entries, file_seq, magic = _FOOTER.unpack_from(
+            data, len(data) - _FOOTER.size
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad SSTable magic in {path}")
+        self._data = data
+        self.num_entries = n_entries
+        self.file_seq = file_seq
+        self._entries_end = index_off
+        # parse sparse index
+        (n_index,) = struct.unpack_from("<I", data, index_off)
+        off = index_off + 4
+        self._index_keys: list[bytes] = []
+        self._index_offsets: list[int] = []
+        for _ in range(n_index):
+            klen, entry_off = struct.unpack_from("<IQ", data, off)
+            off += 12
+            self._index_keys.append(data[off : off + klen])
+            off += klen
+            self._index_offsets.append(entry_off)
+        self.bloom = BloomFilter.from_bytes(data[bloom_off : len(data) - _FOOTER.size])
+        self.min_key = self._index_keys[0]
+        self.max_key = self._last_key()
+
+    def _last_key(self) -> bytes:
+        off = self._index_offsets[-1]
+        last = b""
+        while off < self._entries_end:
+            key, _, off = _unpack_entry(self._data, off)
+            last = key
+        return last
+
+    def get(self, key: bytes) -> tuple[bool, bytes | None]:
+        """Return (found, value).  value None with found=True is a tombstone."""
+        if not self.bloom.may_contain(key):
+            return False, None
+        pos = bisect.bisect_right(self._index_keys, key) - 1
+        if pos < 0:
+            return False, None
+        off = self._index_offsets[pos]
+        while off < self._entries_end:
+            k, v, off = _unpack_entry(self._data, off)
+            if k == key:
+                return True, v
+            if k > key:
+                return False, None
+        return False, None
+
+    def items(self) -> Iterator[tuple[bytes, bytes | None]]:
+        off = 0
+        while off < self._entries_end:
+            key, value, off = _unpack_entry(self._data, off)
+            yield key, value
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes | None]]:
+        pos = bisect.bisect_right(self._index_keys, start) - 1
+        off = self._index_offsets[pos] if pos >= 0 else 0
+        while off < self._entries_end:
+            key, value, off = _unpack_entry(self._data, off)
+            if key >= end:
+                return
+            if key >= start:
+                yield key, value
+
+    def remove_file(self) -> None:
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:  # pragma: no cover - best effort
+            pass

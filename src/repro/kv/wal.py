@@ -1,0 +1,89 @@
+"""Write-ahead log for the KV stores.
+
+Record framing: ``[length u32][crc32 u32][payload]`` where the payload is
+``[op u8][klen u32][key][vlen u32][value]``.  ``op`` is PUT (1) or
+DELETE (2).  Replay stops at the first corrupt or truncated record, which
+models crash recovery: everything before the tear is recovered, the tail
+is discarded.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Iterator
+
+OP_PUT = 1
+OP_DELETE = 2
+
+_FRAME = struct.Struct("<II")
+
+
+def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
+    payload = struct.pack("<BI", op, len(key)) + key + struct.pack("<I", len(value)) + value
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> tuple[int, bytes, bytes]:
+    op, klen = struct.unpack_from("<BI", payload, 0)
+    off = 5
+    key = payload[off : off + klen]
+    off += klen
+    (vlen,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    value = payload[off : off + vlen]
+    return op, key, value
+
+
+class WriteAheadLog:
+    """Append-only durable log with CRC-checked replay."""
+
+    def __init__(self, path: str, sync: bool = False):
+        self.path = path
+        self.sync = sync
+        self._fh = open(path, "ab")
+
+    def append_put(self, key: bytes, value: bytes) -> None:
+        self._append(encode_record(OP_PUT, key, value))
+
+    def append_delete(self, key: bytes) -> None:
+        self._append(encode_record(OP_DELETE, key))
+
+    def _append(self, record: bytes) -> None:
+        self._fh.write(record)
+        if self.sync:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def truncate(self) -> None:
+        """Discard the log contents (after a successful memtable flush)."""
+        self._fh.close()
+        self._fh = open(self.path, "wb")
+
+    def close(self) -> None:
+        self._fh.close()
+
+    @staticmethod
+    def replay(path: str) -> Iterator[tuple[int, bytes, bytes]]:
+        """Yield (op, key, value) for every intact record in the log."""
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as fh:
+            data = fh.read()
+        off = 0
+        n = len(data)
+        while off + _FRAME.size <= n:
+            length, crc = _FRAME.unpack_from(data, off)
+            start = off + _FRAME.size
+            end = start + length
+            if end > n:
+                break  # truncated tail
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # torn/corrupt record: stop replay
+            yield decode_payload(payload)
+            off = end

@@ -1,0 +1,19 @@
+"""Metadata structures: fixed layouts, dirents, ACLs, placement, leases."""
+
+from . import acl, dirent
+from .chash import ConsistentHashRing, file_placement_key
+from .layout import DIR_INODE, FILE_ACCESS, FILE_CONTENT, FILE_COUPLED, FixedLayout
+from .lease import LeaseCache
+
+__all__ = [
+    "acl",
+    "dirent",
+    "ConsistentHashRing",
+    "file_placement_key",
+    "DIR_INODE",
+    "FILE_ACCESS",
+    "FILE_CONTENT",
+    "FILE_COUPLED",
+    "FixedLayout",
+    "LeaseCache",
+]

@@ -1,0 +1,84 @@
+"""Consistent hashing ring for FMS placement (paper §3.1).
+
+File metadata are distributed to File Metadata Servers by consistent
+hashing on ``directory_uuid + file_name``.  Virtual nodes smooth the load;
+the ring is deterministic (blake2b) so placement is stable across runs and
+across clients.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _hash64(data: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent-hash ring with virtual nodes."""
+
+    def __init__(self, vnodes: int = 128):
+        self.vnodes = vnodes
+        self._ring: list[tuple[int, str]] = []
+        self._points: list[int] = []
+        self._nodes: set[str] = set()
+
+    def add_node(self, name: str) -> None:
+        if name in self._nodes:
+            raise ValueError(f"node already on ring: {name!r}")
+        self._nodes.add(name)
+        for v in range(self.vnodes):
+            point = _hash64(f"{name}#{v}".encode())
+            bisect.insort(self._ring, (point, name))
+        self._points = [p for p, _ in self._ring]
+
+    def remove_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise KeyError(name)
+        self._nodes.discard(name)
+        self._ring = [(p, n) for p, n in self._ring if n != name]
+        self._points = [p for p, _ in self._ring]
+
+    def lookup(self, key: bytes | str) -> str:
+        if not self._ring:
+            raise RuntimeError("ring is empty")
+        if isinstance(key, str):
+            key = key.encode()
+        point = _hash64(key)
+        idx = bisect.bisect_right(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return self._ring[idx][1]
+
+    def lookup_n(self, key: bytes | str, n: int) -> list[str]:
+        """The first ``n`` distinct nodes walking clockwise from the key —
+        the classic replica-set selection on a consistent-hash ring."""
+        if not self._ring:
+            raise RuntimeError("ring is empty")
+        n = min(n, len(self._nodes))
+        if isinstance(key, str):
+            key = key.encode()
+        point = _hash64(key)
+        idx = bisect.bisect_right(self._points, point)
+        out: list[str] = []
+        for step in range(len(self._ring)):
+            name = self._ring[(idx + step) % len(self._ring)][1]
+            if name not in out:
+                out.append(name)
+                if len(out) == n:
+                    break
+        return out
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+def file_placement_key(dir_uuid: int, file_name: str) -> bytes:
+    """The consistent-hash key for a file: directory_uuid + file_name."""
+    return dir_uuid.to_bytes(8, "big") + file_name.encode("utf-8")

@@ -1,0 +1,162 @@
+"""Fixed-length metadata layouts (paper §3.3, Table 1).
+
+LocoFS removes (de)serialization by making every metadata field
+fixed-length: a field is read or written *in place* in the value string by
+offset arithmetic (§3.3.3).  :class:`FixedLayout` provides exactly that —
+``offset``/``size`` expose where a field lives so servers can use the KV
+stores' ``read_at``/``write_at`` partial accessors, and ``pack``/``read``/
+``write`` operate on whole buffers.
+
+The three layouts follow Table 1 of the paper:
+
+* ``DIR_INODE`` — value of a directory key (full path) at the DMS:
+  ``ctime, mode, uid, gid, uuid``; 256 bytes are allocated per d-inode
+  (§3.2.2).
+* ``FILE_ACCESS`` — the *access* part of a file inode at an FMS:
+  ``ctime, mode, uid, gid``.
+* ``FILE_CONTENT`` — the *content* part: ``mtime, atime, size, bsize,
+  suuid, sid`` (``suuid``/``sid`` locate the file's object-store home).
+
+Note: §3.3.1's prose lists ``atime`` in the access part, but Table 1 —
+which the evaluation's operation matrix references — puts ``atime`` in the
+content part and ``ctime`` in the access part.  We follow Table 1.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class _Field:
+    name: str
+    fmt: str  # single struct format char, little-endian
+    offset: int
+    size: int
+
+
+class FixedLayout:
+    """A named tuple-of-fields with stable offsets inside a byte value."""
+
+    def __init__(self, name: str, fields: list[tuple[str, str]], total_size: int | None = None):
+        self.name = name
+        self._fields: dict[str, _Field] = {}
+        off = 0
+        for fname, fmt in fields:
+            size = struct.calcsize("<" + fmt)
+            self._fields[fname] = _Field(fname, fmt, off, size)
+            off += size
+        self.packed_size = off
+        self.total_size = total_size if total_size is not None else off
+        if self.total_size < self.packed_size:
+            raise ValueError(f"total_size {total_size} smaller than fields ({off})")
+
+    # -- whole-buffer ------------------------------------------------------------
+    def pack(self, **values) -> bytes:
+        buf = bytearray(self.total_size)
+        for fname, value in values.items():
+            f = self._field(fname)
+            struct.pack_into("<" + f.fmt, buf, f.offset, value)
+        return bytes(buf)
+
+    def unpack(self, buf: bytes) -> dict:
+        self._check(buf)
+        out = {}
+        for f in self._fields.values():
+            (out[f.name],) = struct.unpack_from("<" + f.fmt, buf, f.offset)
+        return out
+
+    # -- per-field (the no-deserialization access path) -----------------------------
+    def read(self, buf: bytes, field: str):
+        self._check(buf)
+        f = self._field(field)
+        (value,) = struct.unpack_from("<" + f.fmt, buf, f.offset)
+        return value
+
+    def write(self, buf: bytes, field: str, value) -> bytes:
+        """Return a copy of ``buf`` with ``field`` overwritten in place."""
+        self._check(buf)
+        f = self._field(field)
+        out = bytearray(buf)
+        struct.pack_into("<" + f.fmt, out, f.offset, value)
+        return bytes(out)
+
+    def encode_field(self, field: str, value) -> bytes:
+        """The raw bytes of one field (for ``KVStore.write_at``)."""
+        f = self._field(field)
+        return struct.pack("<" + f.fmt, value)
+
+    def decode_field(self, field: str, raw: bytes):
+        f = self._field(field)
+        (value,) = struct.unpack("<" + f.fmt, raw)
+        return value
+
+    def offset(self, field: str) -> int:
+        return self._field(field).offset
+
+    def size(self, field: str) -> int:
+        return self._field(field).size
+
+    @property
+    def field_names(self) -> list[str]:
+        return list(self._fields)
+
+    # -- internal ----------------------------------------------------------------
+    def _field(self, name: str) -> _Field:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(f"layout {self.name!r} has no field {name!r}") from None
+
+    def _check(self, buf: bytes) -> None:
+        if len(buf) != self.total_size:
+            raise ValueError(
+                f"{self.name}: buffer is {len(buf)} bytes, expected {self.total_size}"
+            )
+
+
+# struct codes: d = f64, I = u32, Q = u64
+DIR_INODE = FixedLayout(
+    "dir_inode",
+    [("ctime", "d"), ("mode", "I"), ("uid", "I"), ("gid", "I"), ("uuid", "Q")],
+    total_size=256,  # paper §3.2.2: 256 bytes allocated per d-inode
+)
+
+FILE_ACCESS = FixedLayout(
+    "file_access",
+    [("ctime", "d"), ("mode", "I"), ("uid", "I"), ("gid", "I")],
+)
+
+FILE_CONTENT = FixedLayout(
+    "file_content",
+    [
+        ("mtime", "d"),
+        ("atime", "d"),
+        ("size", "Q"),
+        ("bsize", "I"),
+        ("suuid", "Q"),
+        ("sid", "I"),
+    ],
+)
+
+#: the coupled (LocoFS-CF / IndexFS-style) whole-inode layout used by the
+#: Fig. 11 ablation: one value holding every field of both parts.
+FILE_COUPLED = FixedLayout(
+    "file_coupled",
+    [
+        ("ctime", "d"),
+        ("mode", "I"),
+        ("uid", "I"),
+        ("gid", "I"),
+        ("mtime", "d"),
+        ("atime", "d"),
+        ("size", "Q"),
+        ("bsize", "I"),
+        ("suuid", "Q"),
+        ("sid", "I"),
+        # stand-in for the variable-length indexing metadata a traditional
+        # inode carries (block pointers); LocoFS removes it (§3.3.2)
+        ("index_blob", "128s"),
+    ],
+)

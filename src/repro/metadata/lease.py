@@ -1,0 +1,73 @@
+"""Lease-based client cache (paper §3.2.2).
+
+LocoFS clients cache directory inodes under a lease: an entry is valid for
+``lease_seconds`` after it was stored and is *never* served beyond that —
+the paper notes the strict lease causes cache misses (e.g. the d-inode
+cache's high miss ratio for stat, §4.2.2 observation 4) but keeps the
+protocol simple.  Time comes from the engine's virtual clock, passed in by
+the caller (microseconds).
+
+The cache is LRU-bounded; it stores only d-inodes (256 B each), so its
+memory footprint on a client is limited by design.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, TypeVar
+
+V = TypeVar("V")
+
+
+class LeaseCache(Generic[V]):
+    """LRU cache whose entries expire ``lease_us`` after insertion."""
+
+    def __init__(self, lease_seconds: float = 30.0, capacity: int = 65536):
+        self.lease_us = lease_seconds * 1_000_000.0
+        self.capacity = capacity
+        self._entries: OrderedDict[str, tuple[float, V]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+
+    def get(self, key: str, now_us: float) -> V | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_at, value = entry
+        if now_us - stored_at >= self.lease_us:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: V, now_us: float) -> None:
+        self._entries[key] = (now_us, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every key starting with ``prefix`` (after a d-rename)."""
+        doomed = [k for k in self._entries if k.startswith(prefix)]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,25 @@
+"""Timing-plane substrate: cost model, event simulator, RPC engines."""
+
+from .cluster import Cluster, ServerNode
+from .costmodel import DEFAULT_COST_MODEL, HDD, SSD, CostModel, DeviceModel, KVCostPolicy
+from .engine import DirectEngine, EventEngine
+from .rpc import LocalCharge, Parallel, Rpc, Sleep
+from .simulator import Simulator
+
+__all__ = [
+    "Cluster",
+    "ServerNode",
+    "CostModel",
+    "DeviceModel",
+    "KVCostPolicy",
+    "DEFAULT_COST_MODEL",
+    "HDD",
+    "SSD",
+    "DirectEngine",
+    "EventEngine",
+    "LocalCharge",
+    "Parallel",
+    "Rpc",
+    "Sleep",
+    "Simulator",
+]

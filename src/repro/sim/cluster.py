@@ -1,0 +1,80 @@
+"""Server nodes and the cluster registry.
+
+A :class:`ServerNode` wraps a handler object (DMS, FMS, MDS, object
+server...) whose public ``op_<name>`` methods implement the RPC surface.
+Each node owns a :class:`~repro.kv.meter.Meter`; the engines read the
+meter before and after a dispatch to obtain the modeled service time of
+that request.  Handlers share their node's meter with their KV stores, so
+a handler's service time is precisely the modeled cost of the KV work it
+actually performed (plus explicit charges such as serialization).
+"""
+
+from __future__ import annotations
+
+from repro.kv.meter import Meter
+
+from .costmodel import CostModel, KVCostPolicy
+
+
+class ServerNode:
+    """One simulated server process with FIFO service."""
+
+    def __init__(self, name: str, handler: object, cost: CostModel):
+        self.name = name
+        self.handler = handler
+        self.meter = Meter(KVCostPolicy(cost))
+        #: absolute virtual time at which the server is next idle
+        self.next_free = 0.0
+        self.requests_served = 0
+        self.busy_us = 0.0
+
+    def dispatch(self, method: str, args: tuple, kwargs: dict):
+        fn = getattr(self.handler, "op_" + method, None)
+        if fn is None:
+            raise AttributeError(f"server {self.name!r} has no op {method!r}")
+        return fn(*args, **kwargs)
+
+    def utilization(self, elapsed_us: float) -> float:
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / elapsed_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ServerNode({self.name!r}, served={self.requests_served})"
+
+
+class Cluster:
+    """Registry of server nodes addressed by name."""
+
+    def __init__(self, cost: CostModel):
+        self.cost = cost
+        self._nodes: dict[str, ServerNode] = {}
+
+    def add(self, name: str, handler: object) -> ServerNode:
+        if name in self._nodes:
+            raise ValueError(f"duplicate server name {name!r}")
+        node = ServerNode(name, handler, self.cost)
+        self._nodes[name] = node
+        # hand the node's meter to the handler so its KV stores are metered
+        attach = getattr(handler, "attach_meter", None)
+        if attach is not None:
+            attach(node.meter)
+        return node
+
+    def __getitem__(self, name: str) -> ServerNode:
+        return self._nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def names(self) -> list[str]:
+        return list(self._nodes)
+
+    def nodes(self) -> list[ServerNode]:
+        return list(self._nodes.values())
+
+    def reset_load(self) -> None:
+        for n in self._nodes.values():
+            n.next_free = 0.0
+            n.requests_served = 0
+            n.busy_us = 0.0

@@ -1,0 +1,157 @@
+"""Calibrated cost model for the timing plane.
+
+Every virtual-time constant used by the reproduction lives here, each with
+its provenance.  Two kinds of constants exist:
+
+* **Structural costs** — network RTT, per-KV-op and per-byte costs.  These
+  are taken from numbers the paper itself cites (§2.1/§2.2: LevelDB does
+  128 K random puts and 190 K random gets per second, a local KV get takes
+  ~4 µs, a 1 GbE TCP round trip is ~100–174 µs).  LocoFS and the raw-KV
+  baseline are timed *only* with these: their performance emerges from the
+  metadata organization.
+* **Baseline software overheads** — the C++ systems the paper compares
+  against have heavyweight request paths (Ceph MDS journaling, Lustre
+  ldiskfs+DLM, Gluster xattr/self-heal machinery) that we cannot
+  re-implement line-for-line.  Each baseline gets one per-request overhead
+  constant calibrated so its *single-server absolute* IOPS matches the
+  paper's Figure 8/10 measurements; the scaling behaviour with server
+  count then emerges structurally from RPC fan-out and partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class DeviceModel:
+    """Secondary-storage timing used by the Fig. 14 rename experiment."""
+
+    name: str
+    seek_us: float  # random-access penalty per seek
+    read_mbps: float  # sequential read bandwidth, MB/s
+    write_mbps: float  # sequential write bandwidth, MB/s
+
+    def read_us(self, nbytes: int, seeks: int = 0) -> float:
+        return seeks * self.seek_us + nbytes / self.read_mbps
+
+    def write_us(self, nbytes: int, seeks: int = 0) -> float:
+        return seeks * self.seek_us + nbytes / self.write_mbps
+
+
+# MB/s expressed in bytes-per-microsecond: 100 MB/s == 100 B/us.
+HDD = DeviceModel(name="hdd", seek_us=8000.0, read_mbps=120.0, write_mbps=110.0)
+SSD = DeviceModel(name="ssd", seek_us=90.0, read_mbps=480.0, write_mbps=400.0)
+
+
+@dataclass
+class CostModel:
+    """All timing constants, in microseconds unless noted."""
+
+    # --- network (paper Fig. 6 caption: single RTT = 0.174 ms on 1 GbE) ----
+    rtt_us: float = 174.0
+    #: co-located client/server round trip (Fig. 10 "no network" runs)
+    local_rtt_us: float = 10.0
+    #: payload bandwidth of 1 GbE in bytes/us (≈117 MB/s)
+    bandwidth_bpus: float = 117.0
+    #: client-side cost of switching between established server
+    #: connections (socket readiness, epoll, per-connection buffers).  The
+    #: paper observes touch latency rising with the number of metadata
+    #: servers purely from the client juggling more connections (§4.2.1
+    #: observation 2); 60 µs per switch reproduces the trend while keeping
+    #: the Fig. 8/9 throughput ordering.
+    conn_switch_us: float = 60.0
+
+    # --- client request path ----------------------------------------------------
+    #: per-operation client-side cost (mdtest + client library + syscall
+    #: path).  Calibrated from Fig. 6: cached LocoFS touch ≈ 1.3x RTT, i.e.
+    #: ~50 µs above the wire+service time at one server.
+    client_overhead_us: float = 40.0
+
+    # --- server request path -------------------------------------------------
+    #: request parse/dispatch per RPC on the server
+    server_overhead_us: float = 2.0
+
+    # --- KV operation costs ---------------------------------------------------
+    # Derived from the paper-cited single-node numbers: Kyoto Cabinet
+    # TreeDB sustains ~260 K small random ops/s (Figs. 1 and 9 use it as
+    # the raw-KV line), LevelDB 128 K puts/s / 190 K gets/s, local get
+    # ≈ 4 µs (§2.2.1).
+    kv_get_us: float = 1.6
+    kv_put_us: float = 2.4
+    kv_delete_us: float = 2.4
+    kv_append_us: float = 1.8  # KC append avoids the read-modify-write
+    kv_seek_us: float = 4.0
+    kv_scan_record_us: float = 0.35
+    kv_per_byte_us: float = 0.004  # compare/memcpy per byte of key+value
+
+    # --- (de)serialization (paper §2.2.2 and §3.3.3) ---------------------------
+    #: per-byte protobuf-like encode/decode cost charged when a system
+    #: stores metadata as one serialized value (IndexFS, LocoFS-CF).
+    #: ~80 ns/byte covers parse + field tree + allocations (the paper's
+    #: §2.2.2 argument that big values hurt KV-backed metadata).
+    serialize_per_byte_us: float = 0.080
+    serialize_fixed_us: float = 1.2
+
+    # --- baseline software overheads (per metadata request, calibrated) ---------
+    #: Ceph 0.94 MDS: journaling to RADOS, distributed locks, capability
+    #: management.  Calibrated to ~1.5 K creates/s/server (Fig. 8: LocoFS
+    #: is 67x CephFS at one server).
+    cephfs_mds_overhead_us: float = 600.0
+    #: Gluster: xattr-based layout plus FUSE-side lookup amplification.
+    #: Calibrated to ~4.3 K creates/s/server (LocoFS is 23x Gluster).
+    gluster_brick_overhead_us: float = 180.0
+    #: Lustre MDS (ldiskfs journal + DLM locking), ~12.5 K creates/s
+    #: (LocoFS is 8x Lustre DNE1/DNE2).
+    lustre_mds_overhead_us: float = 60.0
+    #: IndexFS on LevelDB: SSTable bulk machinery, lease checks, column
+    #: serialization.  Paper reports ~6 K creates/s/server (§2.1).
+    indexfs_overhead_us: float = 140.0
+
+    # --- misc -------------------------------------------------------------------
+    #: lease duration for client directory caches (paper §3.2.2)
+    lease_seconds: float = 30.0
+
+    def kv_cost_us(self, op: str, nbytes: int) -> float:
+        """Cost of one KV operation of ``op`` kind touching ``nbytes``."""
+        base = {
+            "get": self.kv_get_us,
+            "put": self.kv_put_us,
+            "delete": self.kv_delete_us,
+            "append": self.kv_append_us,
+            "seek": self.kv_seek_us,
+            "scan_record": self.kv_scan_record_us,
+            "flush": 0.0,  # background work, amortized into put cost
+            "compaction": 0.0,
+            "explicit": 0.0,
+        }.get(op, 0.0)
+        return base + nbytes * self.kv_per_byte_us
+
+    def serialize_us(self, nbytes: int) -> float:
+        return self.serialize_fixed_us + nbytes * self.serialize_per_byte_us
+
+    def transfer_us(self, nbytes: int) -> float:
+        """Wire time for a payload of ``nbytes`` (on top of latency)."""
+        return nbytes / self.bandwidth_bpus
+
+    def colocated(self) -> "CostModel":
+        """A copy with network RTT collapsed to loopback (Fig. 10 setup).
+
+        The client-side overhead also shrinks: no NIC/TCP stack traversal,
+        just loopback syscalls.
+        """
+        return replace(self, rtt_us=self.local_rtt_us, conn_switch_us=2.0,
+                       client_overhead_us=8.0)
+
+
+class KVCostPolicy:
+    """Adapter plugging a :class:`CostModel` into a KV store meter."""
+
+    def __init__(self, model: CostModel):
+        self.model = model
+
+    def cost_us(self, op: str, nbytes: int) -> float:
+        return self.model.kv_cost_us(op, nbytes)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,281 @@
+"""Engines that drive file-system operation generators.
+
+``DirectEngine``
+    Executes each yielded command immediately against the in-process
+    servers, advancing a virtual clock by network latency plus metered
+    service time.  Single-threaded: use it for functional tests and for
+    the single-client latency experiments (Figs. 6, 7, 10, 12).
+
+``EventEngine``
+    Schedules the same generators on the discrete-event simulator.  Each
+    server is a FIFO queue; concurrent client processes contend for it, so
+    saturation and scalability emerge.  Used for the closed-loop
+    throughput experiments (Figs. 1, 8, 9, 11, 13).
+
+Both engines implement the same tiny protocol: ``run(gen)`` drives a
+generator to completion and returns its value; ``now`` is the virtual
+clock in microseconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.common.errors import FSError
+
+from .cluster import Cluster, ServerNode
+from .costmodel import CostModel
+from .rpc import LocalCharge, Parallel, Rpc, Sleep
+from .simulator import Simulator
+
+
+def _response_bytes(rpc: Rpc, result) -> int:
+    """Wire size of a response: the declared size, or — for raw byte
+    payloads like dirent lists and data blocks — the actual size."""
+    if rpc.recv_bytes:
+        return rpc.recv_bytes
+    if isinstance(result, (bytes, bytearray)):
+        return len(result)
+    return 0
+
+
+class _ClientState:
+    """Per-logical-client connection and link bookkeeping."""
+
+    __slots__ = ("last_server", "rpcs_issued", "downlink_free")
+
+    def __init__(self) -> None:
+        self.last_server: str | None = None
+        self.rpcs_issued = 0
+        #: absolute time at which the client's downlink is next idle
+        self.downlink_free = 0.0
+
+
+class DirectEngine:
+    """Synchronous executor with a virtual clock.
+
+    The clock models the latency a *single* client observes: every RPC
+    costs one RTT plus the server's metered service time; switching to a
+    different server than the previous request costs ``conn_switch_us``
+    (§4.2.1 observation 2: more connections slow the client down).
+    """
+
+    def __init__(self, cluster: Cluster, cost: CostModel):
+        self.cluster = cluster
+        self.cost = cost
+        self.now = 0.0
+        self._client = _ClientState()
+
+    # -- protocol -------------------------------------------------------------
+    def run(self, gen: Generator):
+        send_value = None
+        exc: BaseException | None = None
+        while True:
+            try:
+                cmd = gen.throw(exc) if exc is not None else gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            exc = None
+            send_value = None
+            if isinstance(cmd, Rpc):
+                try:
+                    send_value = self._do_rpc(cmd)
+                except FSError as e:
+                    exc = e
+            elif isinstance(cmd, Parallel):
+                results = []
+                first_err: FSError | None = None
+                base = self.now
+                uplink = 0.0
+                downlink_free = base
+                slowest = base
+                for rpc in cmd.rpcs:
+                    # the client's uplink serializes request payloads: each
+                    # branch departs once its payload (and all earlier ones)
+                    # is on the wire ...
+                    uplink += self.cost.transfer_us(rpc.send_bytes)
+                    self.now = base + uplink
+                    try:
+                        results.append(self._do_rpc(rpc, single=False, transfers=False))
+                    except FSError as e:
+                        results.append(None)
+                        if first_err is None:
+                            first_err = e
+                    # ... and the downlink serializes response payloads
+                    arrive = max(self.now, downlink_free) + self.cost.transfer_us(
+                        _response_bytes(rpc, results[-1]))
+                    downlink_free = arrive
+                    slowest = max(slowest, arrive)
+                self.now = slowest
+                if first_err is not None:
+                    exc = first_err
+                else:
+                    send_value = results
+            elif isinstance(cmd, Sleep):
+                self.now += cmd.us
+            elif isinstance(cmd, LocalCharge):
+                self.now += cmd.us
+            else:
+                raise TypeError(f"unknown engine command: {cmd!r}")
+
+    def _do_rpc(self, rpc: Rpc, single: bool = True, transfers: bool = True):
+        node = self.cluster[rpc.server]
+        if single:
+            if self._client.last_server is not None and self._client.last_server != rpc.server:
+                self.now += self.cost.conn_switch_us
+            self._client.last_server = rpc.server
+        self._client.rpcs_issued += 1
+        # request wire time (unless the caller accounted it) + half RTT out
+        if transfers:
+            self.now += self.cost.transfer_us(rpc.send_bytes)
+        self.now += self.cost.rtt_us / 2.0
+        # FIFO service: parallel branches hitting one server queue up
+        start = max(self.now, node.next_free)
+        before = node.meter.snapshot()
+        result = None
+        try:
+            result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
+        finally:
+            service = node.meter.snapshot() - before + self.cost.server_overhead_us
+            node.requests_served += 1
+            node.busy_us += service
+            node.next_free = start + service
+            self.now = start + service
+            # response wire time + half RTT back
+            if transfers:
+                self.now += self.cost.transfer_us(_response_bytes(rpc, result))
+            self.now += self.cost.rtt_us / 2.0
+        return result
+
+    def reset_clock(self) -> None:
+        self.now = 0.0
+        self._client = _ClientState()
+        self.cluster.reset_load()
+
+
+class EventEngine:
+    """Discrete-event executor for many concurrent client processes."""
+
+    def __init__(self, cluster: Cluster, cost: CostModel):
+        self.cluster = cluster
+        self.cost = cost
+        self.sim = Simulator()
+        # run() calls share one logical client, so consecutive synchronous
+        # operations see the same connection state the Direct engine models
+        self._default_client = _ClientState()
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- public API -----------------------------------------------------------
+    def run(self, gen: Generator):
+        """Drive one generator to completion (convenience for tests)."""
+        box: dict = {}
+
+        def done(value, exc):
+            box["value"] = value
+            box["exc"] = exc
+
+        self.spawn(gen, done, client=self._default_client)
+        self.sim.run()
+        if box.get("exc") is not None:
+            raise box["exc"]
+        return box.get("value")
+
+    def spawn(
+        self,
+        gen: Generator,
+        on_done: Callable | None = None,
+        client: _ClientState | None = None,
+    ) -> None:
+        """Start a generator as a simulator process."""
+        state = client if client is not None else _ClientState()
+        self.sim.after(0.0, self._step, gen, state, on_done, None, None)
+
+    def new_client(self) -> _ClientState:
+        return _ClientState()
+
+    # -- stepping machinery --------------------------------------------------------
+    def _step(self, gen, state, on_done, send_value, exc) -> None:
+        try:
+            cmd = gen.throw(exc) if exc is not None else gen.send(send_value)
+        except StopIteration as stop:
+            if on_done is not None:
+                on_done(stop.value, None)
+            return
+        except FSError as e:
+            if on_done is not None:
+                on_done(None, e)
+            else:  # pragma: no cover - surfacing a bug in an op generator
+                raise
+            return
+        if isinstance(cmd, Rpc):
+            self._issue(gen, state, on_done, cmd, single=True)
+        elif isinstance(cmd, Parallel):
+            pending = {"n": len(cmd.rpcs), "results": [None] * len(cmd.rpcs), "err": None}
+            if pending["n"] == 0:
+                self.sim.after(0.0, self._step, gen, state, on_done, [], None)
+                return
+            # the client uplink serializes request payloads: branch i cannot
+            # dispatch before the preceding payloads are on the wire
+            uplink = 0.0
+            for i, rpc in enumerate(cmd.rpcs):
+                self._issue(gen, state, on_done, rpc, single=False, group=(pending, i),
+                            extra_delay=uplink)
+                uplink += self.cost.transfer_us(rpc.send_bytes)
+        elif isinstance(cmd, Sleep):
+            self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
+        elif isinstance(cmd, LocalCharge):
+            self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
+        else:
+            raise TypeError(f"unknown engine command: {cmd!r}")
+
+    def _issue(self, gen, state, on_done, rpc: Rpc, single: bool, group=None,
+               extra_delay: float = 0.0) -> None:
+        delay = self.cost.transfer_us(rpc.send_bytes) + extra_delay
+        if single and state.last_server is not None and state.last_server != rpc.server:
+            delay += self.cost.conn_switch_us
+        if single:
+            state.last_server = rpc.server
+        state.rpcs_issued += 1
+        deliver_at = self.sim.now + delay + self.cost.rtt_us / 2.0
+        self.sim.at(deliver_at, self._deliver, gen, state, on_done, rpc, single, group)
+
+    def _deliver(self, gen, state, on_done, rpc: Rpc, single: bool, group) -> None:
+        node: ServerNode = self.cluster[rpc.server]
+        start = max(self.sim.now, node.next_free)
+        before = node.meter.snapshot()
+        err: FSError | None = None
+        result = None
+        try:
+            result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
+        except FSError as e:
+            err = e
+        service = node.meter.snapshot() - before + self.cost.server_overhead_us
+        finish = start + service
+        node.next_free = finish
+        node.requests_served += 1
+        node.busy_us += service
+        # the response reaches the client after the wire latency, then its
+        # payload must cross the client's (serialized) downlink
+        reach_client = finish + self.cost.rtt_us / 2.0
+        nbytes = _response_bytes(rpc, result)
+        respond_at = max(reach_client, state.downlink_free) + self.cost.transfer_us(nbytes)
+        state.downlink_free = respond_at
+        if single:
+            self.sim.at(respond_at, self._step, gen, state, on_done, result, err)
+        else:
+            pending, idx = group
+            self.sim.at(respond_at, self._join, gen, state, on_done, pending, idx, result, err)
+
+    def _join(self, gen, state, on_done, pending, idx, result, err) -> None:
+        pending["results"][idx] = result
+        if err is not None and pending["err"] is None:
+            pending["err"] = err
+        pending["n"] -= 1
+        if pending["n"] == 0:
+            if pending["err"] is not None:
+                self._step(gen, state, on_done, None, pending["err"])
+            else:
+                self._step(gen, state, on_done, pending["results"], None)

@@ -1,0 +1,59 @@
+"""RPC command objects yielded by file-system operation generators.
+
+Every file-system operation in this repository — LocoFS's and every
+baseline's — is written once as a *generator* that yields these commands
+and receives results back via ``send()``.  The generator does not know
+which engine drives it: the :class:`~repro.sim.engine.DirectEngine`
+executes commands immediately against in-process servers while advancing a
+virtual clock (functional tests, single-client latency), and the
+:class:`~repro.sim.engine.EventEngine` schedules them on the discrete-event
+simulator with per-server FIFO queues (closed-loop throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Rpc:
+    """One request/response round trip to a named server.
+
+    ``send_bytes``/``recv_bytes`` describe payload sizes beyond the tiny
+    request header; they are charged as wire-transfer time on top of the
+    RTT (relevant only for the object-store data path — metadata payloads
+    are far below the bandwidth limit, per the paper's §2.2.1 analysis).
+    """
+
+    server: str
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    send_bytes: int = 0
+    recv_bytes: int = 0
+
+
+@dataclass
+class Parallel:
+    """Fan out several RPCs concurrently; resumes with the list of results.
+
+    Latency is the slowest branch (each target server still queues its own
+    request).  If any branch raised, the first error is re-raised in the
+    issuing generator *after* all branches complete.
+    """
+
+    rpcs: list[Rpc]
+
+
+@dataclass
+class Sleep:
+    """Advance virtual time without doing work (think-time, backoff)."""
+
+    us: float
+
+
+@dataclass
+class LocalCharge:
+    """Charge client-side compute time (e.g. FUSE layer, checksums)."""
+
+    us: float

@@ -1,0 +1,59 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal event-heap scheduler: callbacks fire in (time, sequence) order,
+so two events at the same instant run in scheduling order and every run is
+exactly reproducible.  Time is in virtual microseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+
+class Simulator:
+    """Event heap with a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    def at(self, time: float, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def after(self, delay: float, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.at(self.now + delay, fn, *args)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired (a runaway guard for tests)."""
+        n = 0
+        while self._heap:
+            time, _, fn, args = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = time
+            self._events_processed += 1
+            fn(*args)
+            n += 1
+            if max_events is not None and n >= max_events:
+                return
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

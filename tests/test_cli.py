@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out and "locofs-c" in out and "table1" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "12/12" in out
+
+
+def test_run_quick_fig14(capsys):
+    assert main(["run", "fig14", "--quick"]) == 0
+    assert "d-rename" in capsys.readouterr().out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_latency_command(capsys):
+    assert main(["latency", "locofs-c", "-n", "2", "--items", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "touch" in out and "µs" in out
+
+
+def test_throughput_command(capsys):
+    assert main(["throughput", "locofs-c", "-n", "2", "--op", "mkdir",
+                 "--items", "8", "--client-scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "IOPS" in out and "utilization" in out
+
+
+def test_fsck_demo(capsys):
+    assert main(["fsck-demo"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "error" in out
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])

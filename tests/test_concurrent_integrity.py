@@ -1,0 +1,105 @@
+"""Concurrent clients on the event engine must leave a consistent namespace.
+
+These are the closest thing to race tests the deterministic simulator
+allows: many interleaved client processes mutate overlapping parts of the
+tree, operations fail or succeed per POSIX rules, and afterwards fsck must
+find every invariant intact and the namespace must match what the
+successful operations imply.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig
+from repro.common.errors import FSError
+from repro.core.fs import LocoFS
+from repro.core.fsck import check
+from repro.sim.rpc import LocalCharge
+
+
+def run_concurrent(scripts, num_servers=3, cache=True):
+    fs = LocoFS(
+        ClusterConfig(num_metadata_servers=num_servers,
+                      cache=CacheConfig(enabled=cache)),
+        engine_kind="event",
+    )
+    engine = fs.engine
+    outcomes = []
+
+    def wrap(script, cid):
+        client = fs.client()
+        ok = 0
+        failed = 0
+        for op, args in script:
+            yield LocalCharge(5.0)
+            try:
+                yield from client.op_generator(op, *args)
+                ok += 1
+            except FSError:
+                failed += 1
+        outcomes.append((cid, ok, failed))
+
+    for cid, script in enumerate(scripts):
+        engine.spawn(wrap(script, cid), client=engine.new_client())
+    engine.sim.run()
+    assert len(outcomes) == len(scripts)
+    return fs, outcomes
+
+
+class TestConcurrentClients:
+    def test_disjoint_writers_all_succeed(self):
+        scripts = []
+        for cid in range(12):
+            s = [("mkdir", (f"/c{cid}",))]
+            s += [("create", (f"/c{cid}/f{i}",)) for i in range(8)]
+            scripts.append(s)
+        fs, outcomes = run_concurrent(scripts)
+        assert all(failed == 0 for _, _, failed in outcomes)
+        assert fs.total_files() == 96
+        assert check(fs).clean
+
+    def test_racing_creates_one_winner(self):
+        # every client tries to create the same file; exactly one wins
+        scripts = [[("create", ("/contested",))] for _ in range(10)]
+        fs, outcomes = run_concurrent(scripts)
+        wins = sum(ok for _, ok, _ in outcomes)
+        assert wins == 1
+        assert fs.total_files() == 1
+        assert check(fs).clean
+
+    def test_racing_mkdirs_one_winner(self):
+        scripts = [[("mkdir", ("/race",))] for _ in range(8)]
+        fs, outcomes = run_concurrent(scripts)
+        assert sum(ok for _, ok, _ in outcomes) == 1
+        assert check(fs).clean
+
+    def test_create_vs_rmdir_interleaving_stays_consistent(self):
+        # one client fills a directory while another repeatedly tries to
+        # remove it; whatever interleaving happens, invariants must hold
+        filler = [("mkdir", ("/hot",))] + [("create", (f"/hot/f{i}",)) for i in range(10)]
+        remover = [("rmdir", ("/hot",))] * 6
+        fs, outcomes = run_concurrent([filler, remover], cache=False)
+        assert check(fs).clean
+
+    def test_mixed_workload_high_interleaving(self):
+        scripts = []
+        for cid in range(8):
+            s = [("mkdir", (f"/shared{cid % 2}",))]  # half collide
+            for i in range(6):
+                s.append(("create", (f"/shared{cid % 2}/c{cid}f{i}",)))
+            s.append(("chmod", (f"/shared{cid % 2}/c{cid}f0", 0o600)))
+            s.append(("write", (f"/shared{cid % 2}/c{cid}f1", 0, b"x" * 5000)))
+            s.append(("unlink", (f"/shared{cid % 2}/c{cid}f2",)))
+            scripts.append(s)
+        fs, outcomes = run_concurrent(scripts, num_servers=4)
+        report = check(fs)
+        assert report.clean, report.errors
+        # 8 clients x 6 creates, minus 8 unlinks
+        assert report.files == 8 * 6 - 8
+
+    def test_deterministic_across_runs(self):
+        scripts = [[("mkdir", (f"/m{cid}",)), ("create", (f"/m{cid}/f",))]
+                   for cid in range(6)]
+        fs1, o1 = run_concurrent(scripts)
+        fs2, o2 = run_concurrent(scripts)
+        assert sorted(o1) == sorted(o2)
+        assert fs1.engine.now == pytest.approx(fs2.engine.now)

@@ -1,0 +1,242 @@
+"""Differential testing: every system vs a model-filesystem oracle.
+
+A pure-Python in-memory tree defines the intended semantics.  Hypothesis
+generates random operation sequences; each sequence runs against the
+oracle and against every real implementation (LocoFS cached/uncached,
+multi-DMS, and the four baselines).  Outcomes (success or error *type*)
+and the final namespace (paths, kinds, sizes, file contents) must match
+exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import pathutil
+from repro.common.config import CacheConfig, ClusterConfig
+from repro.common.errors import (
+    Exists,
+    FSError,
+    InvalidArgument,
+    IsADirectory,
+    NoEntry,
+    NotADirectory,
+    NotEmpty,
+)
+from repro.core.fs import LocoFS
+from repro.core.multidms import MultiDMSLocoFS
+from repro.baselines import CephFSSystem, GlusterSystem, IndexFSSystem, LustreSystem
+
+
+class ModelFS:
+    """Oracle: a dict-based tree with the repository's FS semantics."""
+
+    def __init__(self) -> None:
+        self.dirs: set[str] = {"/"}
+        self.files: dict[str, bytes] = {}
+
+    # -- helpers -------------------------------------------------------------
+    def _parent_dir(self, path: str) -> str:
+        parent, _ = pathutil.split(path)
+        if parent not in self.dirs:
+            raise NoEntry(parent)
+        return parent
+
+    def _exists(self, path: str) -> bool:
+        return path in self.dirs or path in self.files
+
+    # -- ops ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        path = pathutil.normalize(path)
+        if path == "/":
+            raise Exists(path)
+        self._parent_dir(path)
+        if self._exists(path):
+            raise Exists(path)
+        self.dirs.add(path)
+
+    def create(self, path: str) -> None:
+        path = pathutil.normalize(path)
+        self._parent_dir(path)
+        if self._exists(path):
+            raise Exists(path)
+        self.files[path] = b""
+
+    def unlink(self, path: str) -> None:
+        path = pathutil.normalize(path)
+        self._parent_dir(path)
+        if path not in self.files:
+            raise NoEntry(path)
+        del self.files[path]
+
+    def rmdir(self, path: str) -> None:
+        path = pathutil.normalize(path)
+        if path == "/":
+            raise InvalidArgument(path, "root")
+        if path not in self.dirs:
+            raise NoEntry(path)
+        if self._children(path):
+            raise NotEmpty(path)
+        self.dirs.discard(path)
+
+    def _children(self, path: str) -> list[str]:
+        prefix = pathutil.dir_key_prefix(path)
+        kids = [d for d in self.dirs if d != path and d.startswith(prefix)
+                and "/" not in d[len(prefix):]]
+        kids += [f for f in self.files if f.startswith(prefix)
+                 and "/" not in f[len(prefix):]]
+        return kids
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        path = pathutil.normalize(path)
+        self._parent_dir(path)
+        if path in self.dirs:
+            raise IsADirectory(path)
+        if path not in self.files:
+            raise NoEntry(path)
+        cur = self.files[path]
+        if len(cur) < offset:
+            cur = cur.ljust(offset, b"\x00")
+        self.files[path] = cur[:offset] + data + cur[offset + len(data):]
+
+    def rename(self, old: str, new: str) -> None:
+        old = pathutil.normalize(old)
+        new = pathutil.normalize(new)
+        if old == new:
+            return
+        if old in self.dirs:
+            if pathutil.is_ancestor(old, new):
+                raise InvalidArgument(new, "into itself")
+            self._parent_dir(new)
+            if self._exists(new):
+                raise Exists(new)
+            oldp = pathutil.dir_key_prefix(old)
+            newp = pathutil.dir_key_prefix(new)
+            self.dirs = {newp + d[len(oldp):] if d.startswith(oldp) else d
+                         for d in self.dirs if d != old} | {new}
+            self.files = {
+                (newp + f[len(oldp):] if f.startswith(oldp) else f): v
+                for f, v in self.files.items()
+            }
+        elif old in self.files:
+            self._parent_dir(old)
+            self._parent_dir(new)
+            if new in self.dirs:
+                raise Exists(new)
+            data = self.files.pop(old)
+            self.files[new] = data  # silently replaces an existing file
+        else:
+            self._parent_dir(old)
+            raise NoEntry(old)
+
+    def snapshot(self) -> tuple:
+        return (frozenset(self.dirs),
+                tuple(sorted((f, v) for f, v in self.files.items())))
+
+
+def snapshot_real(client, model: ModelFS) -> tuple:
+    """Walk the model's final tree through the real client."""
+    dirs = set()
+    files = []
+    stack = ["/"]
+    while stack:
+        d = stack.pop()
+        dirs.add(d)
+        for e in client.readdir(d):
+            child = pathutil.join(d, e.name)
+            if e.is_dir:
+                stack.append(child)
+            else:
+                size = client.stat_file(child).st_size
+                files.append((child, client.read(child, 0, size) if size else b""))
+    return frozenset(dirs), tuple(sorted(files))
+
+
+SYSTEMS = {
+    # LocoFS variants run with strict_collisions: the differential oracle
+    # is precisely what exposed the split-keyspace name-collision gap
+    "locofs-c": lambda: LocoFS(ClusterConfig(num_metadata_servers=3,
+                                             strict_collisions=True)),
+    "locofs-nc": lambda: LocoFS(ClusterConfig(num_metadata_servers=2,
+                                              cache=CacheConfig(enabled=False),
+                                              strict_collisions=True)),
+    "multidms": lambda: MultiDMSLocoFS(num_directory_servers=2, num_metadata_servers=2,
+                                       strict_collisions=True),
+    "cephfs": lambda: CephFSSystem(num_metadata_servers=2),
+    "gluster": lambda: GlusterSystem(num_metadata_servers=3),
+    "lustre-d2": lambda: LustreSystem(num_metadata_servers=3, dne=2),
+    "indexfs": lambda: IndexFSSystem(num_metadata_servers=2),
+}
+
+names = st.sampled_from(["a", "b", "c", "dd"])
+paths = st.builds(lambda parts: "/" + "/".join(parts),
+                  st.lists(names, min_size=1, max_size=3))
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), paths),
+        st.tuples(st.just("create"), paths),
+        st.tuples(st.just("unlink"), paths),
+        st.tuples(st.just("rmdir"), paths),
+        st.tuples(st.just("rename"), paths, paths),
+        st.tuples(st.just("write"), paths, st.integers(0, 100),
+                  st.binary(min_size=1, max_size=50)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def apply_to(target, op_tuple):
+    op = op_tuple[0]
+    if op == "mkdir":
+        target.mkdir(op_tuple[1])
+    elif op == "create":
+        target.create(op_tuple[1])
+    elif op == "unlink":
+        target.unlink(op_tuple[1])
+    elif op == "rmdir":
+        target.rmdir(op_tuple[1])
+    elif op == "rename":
+        target.rename(op_tuple[1], op_tuple[2])
+    elif op == "write":
+        target.write(op_tuple[1], op_tuple[2], op_tuple[3])
+
+
+@pytest.mark.parametrize("system_name", sorted(SYSTEMS))
+@given(ops=operations)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_differential_vs_oracle(system_name, ops):
+    system = SYSTEMS[system_name]()
+    client = system.client()
+    model = ModelFS()
+    for op_tuple in ops:
+        try:
+            apply_to(model, op_tuple)
+            expected: type[BaseException] | None = None
+        except FSError as e:
+            expected = type(e)
+        try:
+            apply_to(client, op_tuple)
+            got: type[BaseException] | None = None
+        except FSError as e:
+            got = type(e)
+        # outcome classes must agree (allow sibling classes for path-shape
+        # errors where the walk order legitimately differs)
+        compatible = {
+            frozenset({NoEntry, NotADirectory}),
+            frozenset({Exists, IsADirectory}),
+            frozenset({NoEntry, IsADirectory}),
+            # rename(d, d/sub/...): EINVAL (into itself) vs ENOENT (missing
+            # destination parent) — POSIX leaves the check order unspecified
+            frozenset({InvalidArgument, NoEntry}),
+        }
+        if got is not expected:
+            pair = frozenset(x for x in (got, expected) if x is not None)
+            assert pair in compatible, (op_tuple, expected, got)
+    assert snapshot_real(client, model) == model.snapshot()
+    close = getattr(system, "close", None)
+    if close:
+        close()

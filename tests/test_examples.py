@@ -1,0 +1,32 @@
+"""The example scripts are part of the public deliverable: keep them green."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_directory_has_the_promised_scripts():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "hpc_checkpoint.py",
+        "system_comparison.py",
+        "rename_acceleration.py",
+        "trace_replay.py",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    root = pathlib.Path(__file__).parent.parent
+    proc = subprocess.run(
+        [sys.executable, str(root / "examples" / name)],
+        capture_output=True, text=True, timeout=240, cwd=root,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their analysis"

@@ -1,0 +1,116 @@
+"""Smoke tests for the experiment modules (tiny scales; shape only).
+
+The full-size shape assertions live in benchmarks/; here we verify each
+experiment runs end-to-end, produces well-formed results, and preserves
+its most load-bearing property at miniature scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    fig01_gap,
+    fig06_latency,
+    fig07_latency_ops,
+    fig08_throughput,
+    fig09_bridging_gap,
+    fig10_flattened,
+    fig11_decoupled,
+    fig12_fullsystem,
+    fig13_depth,
+    fig14_rename,
+    table1_access_matrix,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def test_registry_covers_every_figure_and_table():
+    assert set(REGISTRY) == {
+        "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "table1", "table3",
+    }
+    for mod in REGISTRY.values():
+        assert hasattr(mod, "run")
+
+
+def test_experiment_result_report_and_normalize():
+    res = ExperimentResult(
+        experiment="X", title="t", col_header="s", columns=[1, 2],
+        rows={"a": {1: 2.0, 2: 4.0}, "b": {1: 1.0, 2: 1.0}},
+    )
+    assert "X: t" in res.report()
+    norm = res.normalized("b")
+    assert norm.rows["a"][1] == pytest.approx(2.0)
+    assert res.series("a")[2] == 4.0
+
+
+def test_fig01_smoke():
+    res = fig01_gap.run(systems=("lustre-d1",), server_counts=(1, 2),
+                        items_per_client=8, client_scale=0.1)
+    assert res.rows["Lustre D1"][2] > 0
+    assert res.extras["kv_iops"] > res.rows["Lustre D1"][1]
+
+
+def test_fig06_smoke():
+    res = fig06_latency.run(systems=("locofs-c", "cephfs"), server_counts=(1,),
+                            n_items=8)
+    assert res["touch"].rows["LocoFS-C"][1] < res["touch"].rows["CephFS"][1]
+
+
+def test_fig07_smoke():
+    res = fig07_latency_ops.run(systems=("locofs-c", "gluster"), num_servers=2,
+                                n_items=8)
+    assert res.rows["LocoFS-C"]["rm"] == pytest.approx(1.0)
+    assert res.rows["Gluster"]["rm"] > 1.0
+
+
+def test_fig08_smoke():
+    res = fig08_throughput.run(ops=("touch",), server_counts=(1,),
+                               systems=("locofs-c", "cephfs"),
+                               items_per_client=8, client_scale=0.1)
+    rows = res["touch"].rows
+    assert rows["LocoFS-C"][1] > rows["CephFS"][1]
+
+
+def test_fig09_smoke():
+    res = fig09_bridging_gap.run(systems=("locofs-c",), server_counts=(1,),
+                                 items_per_client=10, client_scale=0.2)
+    assert 0 < res.rows["LocoFS-C"][1] <= 120
+
+
+def test_fig10_smoke():
+    res = fig10_flattened.run(systems=("locofs-c", "indexfs"), n_items=10)
+    assert res.rows["LocoFS-C"]["touch"] < res.rows["IndexFS"]["touch"]
+
+
+def test_fig11_smoke():
+    res = fig11_decoupled.run(systems=("locofs-df", "locofs-cf"), num_servers=2,
+                              items_per_client=8, client_scale=0.2)
+    for op in ("chmod", "truncate"):
+        assert res.rows["LocoFS-DF"][op] > 0
+        assert res.rows["LocoFS-CF"][op] > 0
+
+
+def test_fig12_smoke():
+    res = fig12_fullsystem.run(systems=("locofs-c",), sizes=(512, 65536),
+                               num_servers=2, n_files=4)
+    w = res["write"].rows["LocoFS-C"]
+    assert w[65536] > w[512]  # bigger I/O costs more wire time
+
+
+def test_fig13_smoke():
+    res = fig13_depth.run(configs=(("locofs-nc", 2),), depths=(1, 16),
+                          items_per_client=10, client_scale=0.2)
+    row = res.rows["LocoFS-NC (2 srv)"]
+    assert row[16] < row[1]  # depth hurts the no-cache config
+
+
+def test_fig14_smoke():
+    res = fig14_rename.run(group_sizes=(100, 300), base_dirs=1500)
+    assert res.rows["btree-ssd"][300] > res.rows["btree-ssd"][100]
+    assert res.extras["wall_seconds"]["hash-hdd"][100] >= 0
+
+
+def test_table1_full_match():
+    res = table1_access_matrix.run()
+    assert "12/12 rows match" in res.notes[0]

@@ -1,0 +1,50 @@
+"""Unit tests for the bloom filter."""
+
+from repro.kv.bloom import BloomFilter
+
+
+def test_added_keys_always_found():
+    bf = BloomFilter(num_keys=100)
+    keys = [f"key-{i}".encode() for i in range(100)]
+    for k in keys:
+        bf.add(k)
+    assert all(bf.may_contain(k) for k in keys)
+
+
+def test_false_positive_rate_reasonable():
+    n = 2000
+    bf = BloomFilter(num_keys=n, bits_per_key=10)
+    for i in range(n):
+        bf.add(f"member-{i}".encode())
+    fp = sum(bf.may_contain(f"absent-{i}".encode()) for i in range(n))
+    # 10 bits/key should give about 1%; allow generous slack
+    assert fp / n < 0.05
+
+
+def test_empty_filter_rejects():
+    bf = BloomFilter(num_keys=10)
+    assert not bf.may_contain(b"anything")
+
+
+def test_serialization_roundtrip():
+    bf = BloomFilter(num_keys=50)
+    for i in range(50):
+        bf.add(f"k{i}".encode())
+    restored = BloomFilter.from_bytes(bf.to_bytes())
+    assert restored.num_bits == bf.num_bits
+    assert restored.num_hashes == bf.num_hashes
+    for i in range(50):
+        assert restored.may_contain(f"k{i}".encode())
+
+
+def test_bad_magic_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        BloomFilter.from_bytes(b"\x00" * 32)
+
+
+def test_zero_keys_clamped():
+    bf = BloomFilter(num_keys=0)
+    bf.add(b"x")
+    assert bf.may_contain(b"x")

@@ -1,0 +1,88 @@
+"""Unit tests for the skip-list memtable."""
+
+from repro.kv.memtable import SkipListMemtable
+
+
+def test_put_get_roundtrip():
+    mt = SkipListMemtable()
+    mt.put(b"a", b"1")
+    mt.put(b"b", b"2")
+    assert mt.get(b"a") == b"1"
+    assert mt.get(b"b") == b"2"
+    assert mt.get(b"c") is None
+
+
+def test_overwrite_updates_value_not_count():
+    mt = SkipListMemtable()
+    mt.put(b"k", b"v1")
+    mt.put(b"k", b"v2")
+    assert mt.get(b"k") == b"v2"
+    assert len(mt) == 1
+
+
+def test_items_sorted_order():
+    mt = SkipListMemtable()
+    keys = [b"delta", b"alpha", b"echo", b"charlie", b"bravo"]
+    for i, k in enumerate(keys):
+        mt.put(k, str(i).encode())
+    assert [k for k, _ in mt.items()] == sorted(keys)
+
+
+def test_len_counts_distinct_keys():
+    mt = SkipListMemtable()
+    for i in range(100):
+        mt.put(f"key{i:03d}".encode(), b"v")
+    assert len(mt) == 100
+
+
+def test_scan_half_open_interval():
+    mt = SkipListMemtable()
+    for c in b"abcdef":
+        mt.put(bytes([c]), b"v")
+    got = [k for k, _ in mt.scan(b"b", b"e")]
+    assert got == [b"b", b"c", b"d"]
+
+
+def test_scan_empty_range():
+    mt = SkipListMemtable()
+    mt.put(b"a", b"v")
+    assert list(mt.scan(b"x", b"z")) == []
+
+
+def test_remove_existing_and_missing():
+    mt = SkipListMemtable()
+    mt.put(b"a", b"v")
+    assert mt.remove(b"a") is True
+    assert mt.remove(b"a") is False
+    assert mt.get(b"a") is None
+    assert len(mt) == 0
+
+
+def test_none_value_tombstone_support():
+    mt = SkipListMemtable()
+    mt.put(b"a", b"v")
+    mt.put(b"a", None)
+    # scan distinguishes tombstone (present, None) from absent
+    assert list(mt.scan(b"a", b"b")) == [(b"a", None)]
+
+
+def test_approx_bytes_grows_and_shrinks():
+    mt = SkipListMemtable()
+    before = mt.approx_bytes
+    mt.put(b"key", b"x" * 100)
+    grown = mt.approx_bytes
+    assert grown > before
+    mt.remove(b"key")
+    assert mt.approx_bytes < grown
+
+
+def test_large_population_sorted_iteration():
+    mt = SkipListMemtable(seed=7)
+    import random
+
+    rng = random.Random(42)
+    keys = [f"{rng.randrange(10**9):09d}".encode() for _ in range(2000)]
+    for k in keys:
+        mt.put(k, k)
+    out = [k for k, _ in mt.items()]
+    assert out == sorted(set(keys))

@@ -1,0 +1,140 @@
+"""Unit tests for the write-ahead log and SSTable file format."""
+
+import pytest
+
+from repro.kv.sstable import SSTable, SSTableBuilder
+from repro.kv.wal import OP_DELETE, OP_PUT, WriteAheadLog, encode_record
+
+
+class TestWAL:
+    def test_replay_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append_put(b"a", b"1")
+        wal.append_put(b"b", b"2")
+        wal.append_delete(b"a")
+        wal.flush()
+        records = list(WriteAheadLog.replay(path))
+        assert records == [(OP_PUT, b"a", b"1"), (OP_PUT, b"b", b"2"), (OP_DELETE, b"a", b"")]
+        wal.close()
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert list(WriteAheadLog.replay(str(tmp_path / "nope.log"))) == []
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append_put(b"good", b"record")
+        wal.flush()
+        wal.close()
+        with open(path, "ab") as fh:
+            fh.write(encode_record(OP_PUT, b"torn", b"record")[:-3])
+        records = list(WriteAheadLog.replay(path))
+        assert records == [(OP_PUT, b"good", b"record")]
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append_put(b"one", b"1")
+        wal.append_put(b"two", b"2")
+        wal.flush()
+        wal.close()
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF  # corrupt last record's payload
+        open(path, "wb").write(bytes(data))
+        records = list(WriteAheadLog.replay(path))
+        assert records == [(OP_PUT, b"one", b"1")]
+
+    def test_truncate_resets_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append_put(b"a", b"1")
+        wal.truncate()
+        wal.append_put(b"b", b"2")
+        wal.flush()
+        assert list(WriteAheadLog.replay(path)) == [(OP_PUT, b"b", b"2")]
+        wal.close()
+
+    def test_binary_safe_keys_and_values(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        key = bytes(range(256))
+        value = b"\x00\xff" * 100
+        wal.append_put(key, value)
+        wal.flush()
+        assert list(WriteAheadLog.replay(path)) == [(OP_PUT, key, value)]
+        wal.close()
+
+
+class TestSSTable:
+    def _build(self, tmp_path, entries, **kw):
+        b = SSTableBuilder(str(tmp_path / "t.sst"), **kw)
+        for k, v in entries:
+            b.add(k, v)
+        return b.finish()
+
+    def test_point_lookup(self, tmp_path):
+        entries = [(f"k{i:04d}".encode(), f"v{i}".encode()) for i in range(100)]
+        t = self._build(tmp_path, entries)
+        for k, v in entries:
+            found, got = t.get(k)
+            assert found and got == v
+
+    def test_absent_key(self, tmp_path):
+        t = self._build(tmp_path, [(b"a", b"1"), (b"c", b"3")])
+        assert t.get(b"b") == (False, None)
+        assert t.get(b"zzz") == (False, None)
+        assert t.get(b"0") == (False, None)
+
+    def test_tombstone_found_with_none_value(self, tmp_path):
+        t = self._build(tmp_path, [(b"a", b"1"), (b"dead", None)])
+        assert t.get(b"dead") == (True, None)
+
+    def test_items_in_order(self, tmp_path):
+        entries = [(f"{i:05d}".encode(), b"v") for i in range(50)]
+        t = self._build(tmp_path, entries)
+        assert [k for k, _ in t.items()] == [k for k, _ in entries]
+
+    def test_scan_range(self, tmp_path):
+        entries = [(f"{i:03d}".encode(), str(i).encode()) for i in range(100)]
+        t = self._build(tmp_path, entries)
+        got = [k for k, _ in t.scan(b"010", b"015")]
+        assert got == [b"010", b"011", b"012", b"013", b"014"]
+
+    def test_out_of_order_add_rejected(self, tmp_path):
+        b = SSTableBuilder(str(tmp_path / "bad.sst"))
+        b.add(b"b", b"1")
+        with pytest.raises(ValueError):
+            b.add(b"a", b"2")
+        with pytest.raises(ValueError):
+            b.add(b"b", b"dup")
+
+    def test_empty_table_rejected(self, tmp_path):
+        b = SSTableBuilder(str(tmp_path / "empty.sst"))
+        with pytest.raises(ValueError):
+            b.finish()
+
+    def test_reopen_from_disk(self, tmp_path):
+        path = str(tmp_path / "t.sst")
+        b = SSTableBuilder(path, file_seq=42)
+        b.add(b"alpha", b"1")
+        b.add(b"beta", b"2")
+        b.finish()
+        t = SSTable(path)
+        assert t.file_seq == 42
+        assert t.get(b"alpha") == (True, b"1")
+        assert t.min_key == b"alpha"
+        assert t.max_key == b"beta"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.sst")
+        open(path, "wb").write(b"\x00" * 64)
+        with pytest.raises(ValueError):
+            SSTable(path)
+
+    def test_sparse_index_boundaries(self, tmp_path):
+        # exercise keys that land exactly on index interval boundaries
+        entries = [(f"{i:04d}".encode(), b"v") for i in range(64)]
+        t = self._build(tmp_path, entries, index_interval=16)
+        for k, _ in entries:
+            assert t.get(k)[0]

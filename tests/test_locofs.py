@@ -1,0 +1,199 @@
+"""LocoFS: shared semantics suite + LocoFS-specific behaviour."""
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig
+from repro.common.errors import NoEntry
+from repro.common.types import Credentials
+from repro.core.fs import LocoFS
+from repro.sim.costmodel import CostModel
+
+from fs_semantics import FSSemantics
+
+
+@pytest.fixture(params=["cached-4fms", "nocache-2fms", "coupled-2fms", "hashdms-2fms"])
+def fs_deployment(request):
+    cfgs = {
+        "cached-4fms": ClusterConfig(num_metadata_servers=4),
+        "nocache-2fms": ClusterConfig(
+            num_metadata_servers=2, cache=CacheConfig(enabled=False)
+        ),
+        "coupled-2fms": ClusterConfig(num_metadata_servers=2, decoupled_file_metadata=False),
+        "hashdms-2fms": ClusterConfig(num_metadata_servers=2, dms_backend="hash"),
+    }
+    return LocoFS(cfgs[request.param])
+
+
+@pytest.fixture
+def fs_client(fs_deployment):
+    return fs_deployment.client()
+
+
+@pytest.fixture
+def fs_factory(fs_deployment):
+    def make(cred):
+        return fs_deployment.client(cred=cred)
+
+    return make
+
+
+class TestLocoFSSemantics(FSSemantics):
+    """Run the shared contract over four LocoFS configurations."""
+
+
+class TestLocoFSSpecific:
+    def test_flattened_tree_file_count_per_fms(self):
+        # files distribute across FMS servers via consistent hashing
+        fs = LocoFS(ClusterConfig(num_metadata_servers=4))
+        c = fs.client()
+        c.mkdir("/d")
+        for i in range(200):
+            c.create(f"/d/f{i}")
+        counts = [s.num_files() for s in fs.fms]
+        assert sum(counts) == 200
+        assert all(n > 0 for n in counts), "hashing should spread files over all FMS"
+
+    def test_create_with_warm_cache_is_single_rpc(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=1))
+        c = fs.client()
+        c.mkdir("/d")  # also warms the cache with /d
+        served_before = fs.cluster["dms"].requests_served
+        for i in range(10):
+            c.create(f"/d/f{i}")
+        # the DMS was never contacted: parent resolution came from the cache
+        assert fs.cluster["dms"].requests_served == served_before
+        assert c.cache_stats["hits"] >= 10
+
+    def test_nocache_contacts_dms_every_create(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=1, cache=CacheConfig(enabled=False)))
+        c = fs.client()
+        c.mkdir("/d")
+        before = fs.cluster["dms"].requests_served
+        for i in range(10):
+            c.create(f"/d/f{i}")
+        assert fs.cluster["dms"].requests_served == before + 10
+
+    def test_lease_expiry_forces_dms_lookup(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=1))
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/one")  # cache hit
+        # advance the virtual clock past the 30 s lease
+        fs.engine.now += 31 * 1_000_000
+        before = fs.cluster["dms"].requests_served
+        c.create("/d/two")
+        assert fs.cluster["dms"].requests_served == before + 1
+
+    def test_dir_uuid_stable_across_rename(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+        c = fs.client()
+        c.mkdir("/a")
+        u1 = c.stat_dir("/a").st_uuid
+        c.create("/a/f")
+        c.rename("/a", "/b")
+        assert c.stat_dir("/b").st_uuid == u1
+        # the file is still reachable: its FMS key (dir uuid + name) is unchanged
+        assert c.stat_file("/b/f").is_file
+
+    def test_file_uuid_stable_across_rename(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=4))
+        c = fs.client()
+        c.create("/f")
+        c.write("/f", 0, b"D" * 10000)
+        u1 = c.stat_file("/f").st_uuid
+        blocks_before = sum(s.num_blocks() for s in fs.object_servers)
+        c.rename("/f", "/g")
+        assert c.stat_file("/g").st_uuid == u1
+        # no data blocks were relocated or rewritten
+        assert sum(s.num_blocks() for s in fs.object_servers) == blocks_before
+
+    def test_d_rename_moves_only_directories(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+        c = fs.client()
+        c.mkdir("/top")
+        for i in range(5):
+            c.mkdir(f"/top/sub{i}")
+            c.create(f"/top/sub{i}/file")
+        moved = fs.dms.op_rename("/top", "/renamed", c.cred)
+        assert moved == 5  # only the 5 sub-directories relocated
+        assert c.stat_file("/renamed/sub3/file").is_file
+
+    def test_unlink_removes_data_blocks(self):
+        fs = LocoFS(ClusterConfig())
+        c = fs.client()
+        c.create("/f")
+        c.write("/f", 0, b"x" * 20000)
+        assert sum(s.num_blocks() for s in fs.object_servers) > 0
+        c.unlink("/f")
+        assert sum(s.num_blocks() for s in fs.object_servers) == 0
+
+    def test_mkdir_latency_close_to_one_rtt(self):
+        # paper §4.2.1: mkdir ≈ 1.1x RTT — a single DMS round trip
+        fs = LocoFS(ClusterConfig(num_metadata_servers=1), cost=CostModel())
+        c = fs.client()
+        t0 = fs.engine.now
+        c.mkdir("/d")
+        latency = fs.engine.now - t0
+        rtt = fs.cost.rtt_us
+        assert rtt <= latency <= 1.5 * rtt
+
+    def test_touch_cached_is_about_one_rtt(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=1))
+        c = fs.client()
+        c.mkdir("/d")
+        t0 = fs.engine.now
+        c.create("/d/f")
+        latency = fs.engine.now - t0
+        # one FMS RPC (plus a connection switch from the DMS socket)
+        assert latency <= 2.5 * fs.cost.rtt_us
+
+    def test_rmdir_contacts_every_fms(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=4))
+        c = fs.client()
+        c.mkdir("/d")
+        before = [fs.cluster[n].requests_served for n in fs.fms_names]
+        c.rmdir("/d")
+        after = [fs.cluster[n].requests_served for n in fs.fms_names]
+        assert all(a == b + 1 for a, b in zip(after, before))
+
+    def test_decoupled_access_part_size(self):
+        # the access part value is tiny (20 bytes: ctime+mode+uid+gid)
+        from repro.metadata.layout import FILE_ACCESS
+
+        assert FILE_ACCESS.total_size == 20
+
+    def test_touch_tracking_matches_table1(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=1), track_touches=True)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/f")
+        c.chmod("/d/f", 0o600)
+        c.truncate("/d/f", 10)
+        c.write("/d/f", 0, b"abc")
+        c.read("/d/f", 0, 3)
+        touches = fs.fms[0].touches
+        assert touches["create"] == {"access", "dirent"}
+        assert touches["chmod"] == {"access"}
+        assert touches["truncate"] == {"content"}
+        assert touches["write"] == {"content"}
+        assert touches["read"] == {"content"}
+
+    def test_event_engine_functional_parity(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=2), engine_kind="event")
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/f")
+        c.write("/d/f", 0, b"hello")
+        assert c.read("/d/f", 0, 5) == b"hello"
+        with pytest.raises(NoEntry):
+            c.stat_file("/d/ghost")
+
+    def test_multiple_clients_independent_caches(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=1))
+        a = fs.client()
+        b = fs.client(cred=Credentials(uid=7, gid=7))
+        a.mkdir("/shared", mode=0o777)
+        b.create("/shared/from-b")
+        assert a.stat_file("/shared/from-b").st_uid == 7
+        assert a.cache_stats["entries"] >= 1
+        assert b.cache_stats["entries"] >= 1

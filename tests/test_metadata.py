@@ -1,0 +1,263 @@
+"""Tests for metadata structures: layouts, dirents, ACLs, ring, leases."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.types import Credentials, DirEntry, FileType
+from repro.metadata import acl, dirent
+from repro.metadata.chash import ConsistentHashRing, file_placement_key
+from repro.metadata.layout import (
+    DIR_INODE,
+    FILE_ACCESS,
+    FILE_CONTENT,
+    FILE_COUPLED,
+    FixedLayout,
+)
+from repro.metadata.lease import LeaseCache
+
+
+class TestFixedLayout:
+    def test_paper_field_sets_match_table1(self):
+        assert DIR_INODE.field_names == ["ctime", "mode", "uid", "gid", "uuid"]
+        assert FILE_ACCESS.field_names == ["ctime", "mode", "uid", "gid"]
+        assert FILE_CONTENT.field_names == ["mtime", "atime", "size", "bsize", "suuid", "sid"]
+
+    def test_dir_inode_is_256_bytes(self):
+        # paper §3.2.2 allocates 256 bytes per d-inode
+        assert DIR_INODE.total_size == 256
+        assert len(DIR_INODE.pack()) == 256
+
+    def test_access_part_much_smaller_than_coupled(self):
+        # the whole point of decoupling: the per-op value is small
+        assert FILE_ACCESS.total_size < FILE_COUPLED.total_size / 4
+
+    def test_pack_unpack_roundtrip(self):
+        buf = FILE_CONTENT.pack(mtime=1.5, atime=2.5, size=4096, bsize=4096, suuid=77, sid=3)
+        got = FILE_CONTENT.unpack(buf)
+        assert got == {
+            "mtime": 1.5,
+            "atime": 2.5,
+            "size": 4096,
+            "bsize": 4096,
+            "suuid": 77,
+            "sid": 3,
+        }
+
+    def test_field_read_write_in_place(self):
+        buf = FILE_ACCESS.pack(ctime=1.0, mode=0o644, uid=10, gid=20)
+        buf2 = FILE_ACCESS.write(buf, "mode", 0o600)
+        assert FILE_ACCESS.read(buf2, "mode") == 0o600
+        assert FILE_ACCESS.read(buf2, "uid") == 10  # neighbours untouched
+        assert len(buf2) == len(buf)
+
+    def test_offsets_are_disjoint_and_ordered(self):
+        offs = [(FILE_CONTENT.offset(f), FILE_CONTENT.size(f)) for f in FILE_CONTENT.field_names]
+        end = 0
+        for off, size in offs:
+            assert off == end
+            end = off + size
+        assert end == FILE_CONTENT.packed_size
+
+    def test_encode_decode_field(self):
+        raw = FILE_CONTENT.encode_field("size", 123456)
+        assert FILE_CONTENT.decode_field("size", raw) == 123456
+        assert len(raw) == FILE_CONTENT.size("size")
+
+    def test_wrong_buffer_size_rejected(self):
+        with pytest.raises(ValueError):
+            FILE_ACCESS.read(b"\x00" * 3, "mode")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            FILE_ACCESS.read(FILE_ACCESS.pack(), "nope")
+        with pytest.raises(ValueError):
+            FixedLayout("bad", [("a", "Q")], total_size=2)
+
+    @given(
+        st.floats(0, 2**31, allow_nan=False),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_access_roundtrip_property(self, ctime, mode, uid, gid):
+        buf = FILE_ACCESS.pack(ctime=ctime, mode=mode, uid=uid, gid=gid)
+        assert FILE_ACCESS.read(buf, "mode") == mode
+        assert FILE_ACCESS.read(buf, "uid") == uid
+        assert FILE_ACCESS.read(buf, "gid") == gid
+        assert FILE_ACCESS.read(buf, "ctime") == ctime
+
+
+class TestDirent:
+    def test_pack_iter_roundtrip(self):
+        buf = dirent.pack_entry("file.txt", 42, FileType.FILE)
+        buf += dirent.pack_entry("subdir", 43, FileType.DIRECTORY)
+        got = list(dirent.iter_entries(buf))
+        assert got == [
+            DirEntry("file.txt", 42, FileType.FILE),
+            DirEntry("subdir", 43, FileType.DIRECTORY),
+        ]
+
+    def test_find_entry(self):
+        buf = b"".join(
+            dirent.pack_entry(f"f{i}", i, FileType.FILE) for i in range(10)
+        )
+        assert dirent.find_entry(buf, "f7") == DirEntry("f7", 7, FileType.FILE)
+        assert dirent.find_entry(buf, "missing") is None
+
+    def test_remove_entry(self):
+        buf = b"".join(dirent.pack_entry(f"f{i}", i, FileType.FILE) for i in range(3))
+        buf2, removed = dirent.remove_entry(buf, "f1")
+        assert removed
+        assert dirent.names(buf2) == ["f0", "f2"]
+        buf3, removed = dirent.remove_entry(buf2, "f1")
+        assert not removed
+        assert buf3 == buf2
+
+    def test_count_and_empty(self):
+        assert dirent.count_entries(b"") == 0
+        buf = dirent.pack_entry("x", 1, FileType.FILE)
+        assert dirent.count_entries(buf) == 1
+
+    def test_unicode_names(self):
+        buf = dirent.pack_entry("файл-数据", 9, FileType.FILE)
+        assert dirent.names(buf) == ["файл-数据"]
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            dirent.pack_entry("", 1, FileType.FILE)
+
+    @given(st.lists(st.text(alphabet="abcXYZ09_-.", min_size=1, max_size=20), unique=True, max_size=30))
+    def test_roundtrip_property(self, names_list):
+        buf = b"".join(dirent.pack_entry(n, i, FileType.FILE) for i, n in enumerate(names_list))
+        assert dirent.names(buf) == names_list
+
+
+class TestAcl:
+    def test_root_always_allowed(self):
+        assert acl.may_access(0o000, 1, 1, Credentials(0, 0), acl.R_OK | acl.W_OK)
+
+    def test_owner_bits(self):
+        cred = Credentials(10, 20)
+        assert acl.may_access(0o700, 10, 99, cred, acl.R_OK | acl.W_OK | acl.X_OK)
+        assert not acl.may_access(0o070, 10, 99, cred, acl.R_OK)  # owner class wins
+
+    def test_group_bits(self):
+        cred = Credentials(10, 20)
+        assert acl.may_access(0o070, 99, 20, cred, acl.R_OK | acl.W_OK | acl.X_OK)
+        assert not acl.may_access(0o007, 99, 20, cred, acl.R_OK)
+
+    def test_other_bits(self):
+        cred = Credentials(10, 20)
+        assert acl.may_access(0o005, 99, 99, cred, acl.R_OK | acl.X_OK)
+        assert not acl.may_access(0o005, 99, 99, cred, acl.W_OK)
+
+    def test_ancestor_exec_chain(self):
+        cred = Credentials(10, 20)
+        ok = [(0o755, 0, 0), (0o711, 99, 99)]
+        assert acl.check_ancestor_exec(ok, cred)
+        blocked = ok + [(0o700, 99, 99)]
+        assert not acl.check_ancestor_exec(blocked, cred)
+
+
+class TestConsistentHash:
+    def test_lookup_deterministic(self):
+        r1, r2 = ConsistentHashRing(), ConsistentHashRing()
+        for n in ["a", "b", "c"]:
+            r1.add_node(n)
+            r2.add_node(n)
+        keys = [f"key{i}".encode() for i in range(100)]
+        assert [r1.lookup(k) for k in keys] == [r2.lookup(k) for k in keys]
+
+    def test_balance_reasonable(self):
+        ring = ConsistentHashRing(vnodes=128)
+        for i in range(8):
+            ring.add_node(f"fms{i}")
+        from collections import Counter
+
+        counts = Counter(ring.lookup(f"k{i}".encode()) for i in range(8000))
+        assert len(counts) == 8
+        assert min(counts.values()) > 8000 / 8 * 0.5
+        assert max(counts.values()) < 8000 / 8 * 1.8
+
+    def test_remove_node_only_moves_its_keys(self):
+        ring = ConsistentHashRing()
+        for n in ["a", "b", "c", "d"]:
+            ring.add_node(n)
+        keys = [f"key{i}".encode() for i in range(500)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove_node("c")
+        after = {k: ring.lookup(k) for k in keys}
+        for k in keys:
+            if before[k] != "c":
+                assert after[k] == before[k]
+            else:
+                assert after[k] != "c"
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().lookup(b"k")
+
+    def test_duplicate_and_missing_nodes(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+        with pytest.raises(KeyError):
+            ring.remove_node("zz")
+
+    def test_placement_key_distinct_per_parent(self):
+        # same file name in different directories must hash independently
+        assert file_placement_key(1, "data") != file_placement_key(2, "data")
+        assert file_placement_key(1, "a") != file_placement_key(1, "b")
+
+
+class TestLeaseCache:
+    def test_hit_within_lease(self):
+        c = LeaseCache(lease_seconds=30)
+        c.put("k", "v", now_us=0)
+        assert c.get("k", now_us=29_999_999) == "v"
+        assert c.hits == 1
+
+    def test_expires_exactly_at_lease(self):
+        c = LeaseCache(lease_seconds=30)
+        c.put("k", "v", now_us=0)
+        assert c.get("k", now_us=30_000_000) is None
+        assert c.expirations == 1
+
+    def test_miss_unknown(self):
+        c = LeaseCache()
+        assert c.get("nope", 0) is None
+        assert c.misses == 1
+
+    def test_lru_eviction(self):
+        c = LeaseCache(capacity=2)
+        c.put("a", 1, 0)
+        c.put("b", 2, 0)
+        c.get("a", 1)  # touch a
+        c.put("c", 3, 0)  # evicts b
+        assert c.get("b", 1) is None
+        assert c.get("a", 1) == 1
+        assert c.get("c", 1) == 3
+
+    def test_invalidate_prefix(self):
+        c = LeaseCache()
+        for p in ["/a", "/a/b", "/a/bb", "/ax", "/z"]:
+            c.put(p, p, 0)
+        assert c.invalidate_prefix("/a/") == 2
+        assert c.get("/a", 1) == "/a"
+        assert c.get("/a/b", 1) is None
+        assert c.get("/ax", 1) == "/ax"
+
+    def test_put_refreshes_lease(self):
+        c = LeaseCache(lease_seconds=1)
+        c.put("k", "v1", now_us=0)
+        c.put("k", "v2", now_us=900_000)
+        assert c.get("k", now_us=1_500_000) == "v2"
+
+    def test_hit_rate(self):
+        c = LeaseCache()
+        c.put("k", 1, 0)
+        c.get("k", 1)
+        c.get("x", 1)
+        assert c.hit_rate == 0.5

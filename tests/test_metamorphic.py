@@ -1,0 +1,107 @@
+"""Metamorphic properties across configurations that must not change results.
+
+1. Engine equivalence: for a single sequential client there is no queueing,
+   so the Direct engine's virtual clock and the event engine's simulator
+   must agree *exactly* on every operation's timing.
+2. Cache transparency: the client directory cache changes timing, never
+   semantics — LocoFS-C and LocoFS-NC must produce byte-identical
+   namespaces for any workload.
+3. Decoupling transparency: LocoFS-DF and LocoFS-CF store the same logical
+   metadata; every stat must agree.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig
+from repro.core.fs import LocoFS
+
+
+WORKLOAD = [
+    ("mkdir", ("/a",)),
+    ("mkdir", ("/a/b",)),
+    ("create", ("/a/f1",)),
+    ("create", ("/a/b/f2",)),
+    ("write", ("/a/f1", 0, b"x" * 5000)),
+    ("chmod", ("/a/f1", 0o600)),
+    ("stat_file", ("/a/f1",)),
+    ("read", ("/a/f1", 100, 200)),
+    ("readdir", ("/a",)),
+    ("rename", ("/a/f1", "/a/b/g1")),
+    ("unlink", ("/a/b/f2",)),
+    ("stat_dir", ("/a/b",)),
+]
+
+
+def run_workload(fs):
+    c = fs.client()
+    for op, args in WORKLOAD:
+        getattr(c, op)(*args)
+    return fs, c
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("num_servers", [1, 4])
+    def test_direct_and_event_clocks_agree(self, num_servers):
+        direct, _ = run_workload(
+            LocoFS(ClusterConfig(num_metadata_servers=num_servers)))
+        event, _ = run_workload(
+            LocoFS(ClusterConfig(num_metadata_servers=num_servers),
+                   engine_kind="event"))
+        assert direct.engine.now == pytest.approx(event.engine.now, rel=1e-9)
+
+    def test_engines_agree_for_baseline_too(self):
+        from repro.baselines import LustreSystem
+
+        def run(kind):
+            sys_ = LustreSystem(num_metadata_servers=2, engine_kind=kind)
+            c = sys_.client()
+            c.mkdir("/d")
+            c.create("/d/f")
+            c.stat_file("/d/f")
+            c.unlink("/d/f")
+            now = sys_.engine.now
+            sys_.close()
+            return now
+
+        assert run("direct") == pytest.approx(run("event"), rel=1e-9)
+
+
+def namespace_snapshot(fs):
+    """(dirs, files-with-content) as stored server-side."""
+    dirs = sorted(fs.dms._meta)
+    files = []
+    for fms in fs.fms:
+        for k, v in sorted(fms.store.items()):
+            if k.startswith((b"A:", b"C:", b"F:")):
+                files.append((k[2:], k[:1]))
+    return dirs, sorted(files)
+
+
+class TestConfigTransparency:
+    def test_cache_does_not_change_the_namespace(self):
+        c_fs, _ = run_workload(LocoFS(ClusterConfig(num_metadata_servers=3)))
+        nc_fs, _ = run_workload(LocoFS(ClusterConfig(
+            num_metadata_servers=3, cache=CacheConfig(enabled=False))))
+        assert namespace_snapshot(c_fs) == namespace_snapshot(nc_fs)
+
+    def test_cache_only_removes_dms_traffic(self):
+        c_fs, _ = run_workload(LocoFS(ClusterConfig(num_metadata_servers=3)))
+        nc_fs, _ = run_workload(LocoFS(ClusterConfig(
+            num_metadata_servers=3, cache=CacheConfig(enabled=False))))
+        assert (nc_fs.cluster["dms"].requests_served
+                > c_fs.cluster["dms"].requests_served)
+        # FMS traffic is identical: the cache never changes file ops
+        for name in c_fs.fms_names:
+            assert (c_fs.cluster[name].requests_served
+                    == nc_fs.cluster[name].requests_served)
+
+    def test_decoupling_does_not_change_visible_metadata(self):
+        df, df_client = run_workload(LocoFS(ClusterConfig(num_metadata_servers=2)))
+        cf, cf_client = run_workload(LocoFS(ClusterConfig(
+            num_metadata_servers=2, decoupled_file_metadata=False)))
+        for path in ("/a/b/g1",):
+            a = df_client.stat_file(path)
+            b = cf_client.stat_file(path)
+            assert (a.st_mode, a.st_size, a.st_uid, a.st_gid) == (
+                b.st_mode, b.st_size, b.st_uid, b.st_gid)
+        assert df_client.read("/a/b/g1", 0, 50) == cf_client.read("/a/b/g1", 0, 50)

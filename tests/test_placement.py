@@ -1,0 +1,108 @@
+"""Unit tests for the baseline placement policies."""
+
+import pytest
+
+from repro.baselines.placement import (
+    GlusterPlacement,
+    ParentHashPlacement,
+    StripedPlacement,
+    SubtreePlacement,
+)
+
+SERVERS = [f"mds{i}" for i in range(4)]
+
+
+class TestSubtree:
+    def test_root_on_first_server(self):
+        p = SubtreePlacement(SERVERS)
+        assert p.inode_server("/") == "mds0"
+
+    def test_whole_subtree_on_one_server(self):
+        p = SubtreePlacement(SERVERS)
+        home = p.inode_server("/proj")
+        for path in ("/proj/a", "/proj/a/b", "/proj/a/b/c", "/proj/other"):
+            assert p.inode_server(path) == home
+
+    def test_different_subtrees_spread(self):
+        p = SubtreePlacement(SERVERS)
+        homes = {p.inode_server(f"/top{i}") for i in range(40)}
+        assert len(homes) >= 3
+
+    def test_dirent_with_parent(self):
+        p = SubtreePlacement(SERVERS)
+        assert p.dirent_server("/proj", "x") == p.inode_server("/proj")
+
+    def test_readdir_single_server(self):
+        p = SubtreePlacement(SERVERS)
+        assert p.readdir_servers("/proj") == [p.inode_server("/proj")]
+
+
+class TestStriped:
+    def test_dirent_colocates_with_child(self):
+        p = StripedPlacement(SERVERS)
+        for name in ("a", "b", "c"):
+            assert p.dirent_server("/d", name) == p.inode_server(f"/d/{name}")
+
+    def test_readdir_touches_all(self):
+        p = StripedPlacement(SERVERS)
+        assert sorted(p.readdir_servers("/d")) == SERVERS
+
+    def test_stripes_spread_names(self):
+        p = StripedPlacement(SERVERS)
+        homes = {p.inode_server(f"/d/f{i}") for i in range(40)}
+        assert len(homes) >= 3
+
+
+class TestParentHash:
+    def test_children_colocate_in_parent_partition(self):
+        p = ParentHashPlacement(SERVERS)
+        home = p.dirent_home("/dir")
+        for name in ("f1", "f2", "sub"):
+            assert p.inode_server(f"/dir/{name}") == home
+            assert p.dirent_server("/dir", name) == home
+
+    def test_dir_inode_lives_with_its_parent(self):
+        p = ParentHashPlacement(SERVERS)
+        assert p.inode_server("/a/b") == p.dirent_home("/a")
+
+    def test_root_children_on_root_partition(self):
+        p = ParentHashPlacement(SERVERS)
+        assert p.inode_server("/a") == "mds0"  # dirent_home("/") == servers[0]
+
+    def test_different_dirs_spread(self):
+        p = ParentHashPlacement(SERVERS)
+        homes = {p.dirent_home(f"/dir{i}") for i in range(40)}
+        assert len(homes) >= 3
+
+
+class TestGluster:
+    def test_file_dirent_follows_file(self):
+        p = GlusterPlacement(SERVERS)
+        assert p.dirent_server("/d", "f") == p.inode_server("/d/f")
+
+    def test_readdir_touches_all_bricks(self):
+        p = GlusterPlacement(SERVERS)
+        assert sorted(p.readdir_servers("/d")) == SERVERS
+
+    def test_files_spread_over_bricks(self):
+        p = GlusterPlacement(SERVERS)
+        homes = {p.inode_server(f"/d/f{i}") for i in range(40)}
+        assert len(homes) >= 3
+
+
+@pytest.mark.parametrize("cls", [SubtreePlacement, StripedPlacement,
+                                 ParentHashPlacement, GlusterPlacement])
+class TestAllPolicies:
+    def test_deterministic(self, cls):
+        a, b = cls(SERVERS), cls(SERVERS)
+        for path in ("/", "/x", "/x/y", "/deep/er/path"):
+            assert a.inode_server(path) == b.inode_server(path)
+
+    def test_single_server_degenerates(self, cls):
+        p = cls(["only"])
+        for path in ("/", "/a", "/a/b"):
+            assert p.inode_server(path) == "only"
+            assert p.readdir_servers(path) == ["only"]
+
+    def test_all_servers(self, cls):
+        assert cls(SERVERS).all_servers() == SERVERS

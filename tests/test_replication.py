@@ -1,0 +1,145 @@
+"""Data replication (extension: the paper evaluates without replicas)."""
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.core.fs import LocoFS
+from repro.core.fsck import check
+from repro.core.objectstore import BlockPlacement
+from repro.metadata.chash import ConsistentHashRing
+
+
+class TestRingLookupN:
+    def test_returns_distinct_nodes(self):
+        ring = ConsistentHashRing()
+        for n in ["a", "b", "c", "d"]:
+            ring.add_node(n)
+        got = ring.lookup_n(b"key", 3)
+        assert len(got) == 3
+        assert len(set(got)) == 3
+
+    def test_primary_is_lookup(self):
+        ring = ConsistentHashRing()
+        for n in ["a", "b", "c"]:
+            ring.add_node(n)
+        for i in range(50):
+            key = f"k{i}".encode()
+            assert ring.lookup_n(key, 2)[0] == ring.lookup(key)
+
+    def test_n_clamped_to_node_count(self):
+        ring = ConsistentHashRing()
+        ring.add_node("only")
+        assert ring.lookup_n(b"k", 5) == ["only"]
+
+    def test_deterministic(self):
+        r1, r2 = ConsistentHashRing(), ConsistentHashRing()
+        for n in ["x", "y", "z"]:
+            r1.add_node(n)
+            r2.add_node(n)
+        assert r1.lookup_n(b"q", 2) == r2.lookup_n(b"q", 2)
+
+
+class TestBlockPlacement:
+    def test_replica_count_clamped(self):
+        p = BlockPlacement(["o0", "o1"], replicas=5)
+        assert p.replicas == 2
+
+    def test_invalid_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            BlockPlacement(["o0"], replicas=0)
+
+    def test_replica_sets_distinct(self):
+        p = BlockPlacement([f"o{i}" for i in range(5)], replicas=3)
+        reps = p.replicas_for(42, 0)
+        assert len(set(reps)) == 3
+        assert reps[0] == p.locate(42, 0)
+
+
+class TestReplicatedFS:
+    def make(self, replicas):
+        return LocoFS(ClusterConfig(num_metadata_servers=2, num_object_servers=4,
+                                    data_replicas=replicas))
+
+    def test_writes_create_r_copies(self):
+        fs = self.make(3)
+        c = fs.client()
+        c.create("/f")
+        c.write("/f", 0, b"x" * 10000)  # 3 blocks
+        total_blocks = sum(s.num_blocks() for s in fs.object_servers)
+        assert total_blocks == 3 * 3
+
+    def test_single_replica_unchanged(self):
+        fs = self.make(1)
+        c = fs.client()
+        c.create("/f")
+        c.write("/f", 0, b"x" * 10000)
+        assert sum(s.num_blocks() for s in fs.object_servers) == 3
+
+    def test_read_roundtrip_with_replication(self):
+        fs = self.make(2)
+        c = fs.client()
+        c.create("/f")
+        data = bytes(range(256)) * 40
+        c.write("/f", 0, data)
+        assert c.read("/f", 0, len(data)) == data
+
+    def test_degraded_read_survives_primary_loss(self):
+        fs = self.make(2)
+        c = fs.client()
+        c.create("/f")
+        c.write("/f", 0, b"important" * 500)
+        uuid = c.stat_file("/f").st_uuid
+        # destroy the primary copy of every block
+        for blk in range(2):
+            primary = fs.placement.locate(uuid, blk)
+            server = fs.object_servers[fs.placement.names.index(primary)]
+            from repro.core.objectstore import block_key
+
+            server.store.delete(block_key(uuid, blk))
+        assert c.read("/f", 0, 9 * 500) == b"important" * 500
+
+    def test_unreplicated_loss_really_loses_data(self):
+        fs = self.make(1)
+        c = fs.client()
+        c.create("/f")
+        c.write("/f", 0, b"gone" * 100)
+        uuid = c.stat_file("/f").st_uuid
+        from repro.core.objectstore import block_key
+
+        primary = fs.placement.locate(uuid, 0)
+        server = fs.object_servers[fs.placement.names.index(primary)]
+        server.store.delete(block_key(uuid, 0))
+        assert c.read("/f", 0, 400) != b"gone" * 100
+
+    def test_unlink_removes_all_replicas(self):
+        fs = self.make(3)
+        c = fs.client()
+        c.create("/f")
+        c.write("/f", 0, b"z" * 8000)
+        c.unlink("/f")
+        assert sum(s.num_blocks() for s in fs.object_servers) == 0
+
+    def test_fsck_clean_with_replicas(self):
+        fs = self.make(2)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/f")
+        c.write("/d/f", 0, b"q" * 5000)
+        report = check(fs)
+        assert report.clean, report.errors
+
+    def test_replicated_write_latency_overhead(self):
+        # replicas fan out in parallel but share the client uplink, so the
+        # cost at small sizes is modest and grows with payload
+        def write_latency(replicas, size):
+            fs = self.make(replicas)
+            c = fs.client()
+            c.create("/f")
+            t0 = fs.engine.now
+            c.write("/f", 0, b"x" * size)
+            return fs.engine.now - t0
+
+        small_1, small_3 = write_latency(1, 512), write_latency(3, 512)
+        big_1, big_3 = write_latency(1, 1 << 20), write_latency(3, 1 << 20)
+        assert small_3 < 1.6 * small_1  # latency-bound: cheap
+        assert big_3 > 2.0 * big_1  # bandwidth-bound: ~3x the bytes on the wire

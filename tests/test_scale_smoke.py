@@ -1,0 +1,66 @@
+"""Scale smoke tests: thousands of objects through the real code paths."""
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.core.fs import LocoFS
+from repro.core.fsck import check
+
+
+@pytest.mark.parametrize("num_servers", [1, 8])
+def test_ten_thousand_files(num_servers):
+    fs = LocoFS(ClusterConfig(num_metadata_servers=num_servers))
+    c = fs.client()
+    n_dirs, files_per_dir = 20, 500
+    for d in range(n_dirs):
+        c.mkdir(f"/d{d:02d}")
+        for f in range(files_per_dir):
+            c.create(f"/d{d:02d}/f{f:04d}")
+    assert fs.total_files() == n_dirs * files_per_dir
+    assert fs.total_directories() == n_dirs + 1
+    # spot checks across the namespace
+    assert c.stat_file("/d07/f0123").is_file
+    assert len(c.readdir("/d19")) == files_per_dir
+    # cleanup of one full directory
+    for f in range(files_per_dir):
+        c.unlink(f"/d00/f{f:04d}")
+    c.rmdir("/d00")
+    assert fs.total_directories() == n_dirs
+    report = check(fs)
+    assert report.clean, report.errors[:3]
+
+
+def test_wide_rename_of_big_subtree():
+    fs = LocoFS(ClusterConfig(num_metadata_servers=4))
+    c = fs.client()
+    c.mkdir("/proj")
+    for d in range(50):
+        c.mkdir(f"/proj/sub{d:03d}")
+        c.create(f"/proj/sub{d:03d}/data")
+    moved = fs.dms.op_rename("/proj", "/archive", c.cred)
+    assert moved == 50
+    assert c.stat_file("/archive/sub049/data").is_file
+    assert check(fs).clean
+
+
+def test_deep_tree_32_levels():
+    fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+    c = fs.client()
+    path = ""
+    for i in range(32):
+        path += f"/l{i}"
+        c.mkdir(path)
+    c.create(path + "/leaf")
+    c.write(path + "/leaf", 0, b"bottom")
+    assert c.read(path + "/leaf", 0, 6) == b"bottom"
+    assert check(fs).clean
+
+
+def test_many_small_writes_one_file():
+    fs = LocoFS(ClusterConfig(num_metadata_servers=1))
+    c = fs.client()
+    c.create("/log")
+    for i in range(300):
+        c.write("/log", i * 10, f"{i:09d}\n".encode())
+    assert c.stat_file("/log").st_size == 3000
+    assert c.read("/log", 2990, 10) == b"000000299\n"

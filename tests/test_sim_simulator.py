@@ -1,0 +1,94 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(30, order.append, "c")
+    sim.at(10, order.append, "a")
+    sim.at(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.at(5, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    seen = []
+    sim.after(10, lambda: (seen.append(sim.now), sim.after(5, seen.append, sim.now + 5)))
+    sim.run()
+    assert seen == [10, 15]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.at(10, fired.append, 1)
+    sim.at(100, fired.append, 2)
+    sim.run(until=50)
+    assert fired == [1]
+    assert sim.now == 50
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.after(1, chain, n + 1)
+
+    sim.after(0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.after(1, forever)
+
+    sim.after(0, forever)
+    sim.run(max_events=100)
+    assert sim.events_processed == 100
+
+
+def test_determinism_across_runs():
+    def build():
+        sim = Simulator()
+        out = []
+        for i in range(50):
+            sim.at(i % 7, out.append, i)
+        sim.run()
+        return out
+
+    assert build() == build()

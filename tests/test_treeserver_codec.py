@@ -1,0 +1,142 @@
+"""Direct unit tests for the baseline tree server and inode codec."""
+
+import pytest
+
+from repro.baselines.codec import (
+    MAX_INDEX_BYTES,
+    decode_inode,
+    encode_inode,
+    index_bytes_for,
+    is_dir_inode,
+)
+from repro.baselines.treeserver import TreePartitionServer
+from repro.common.errors import Exists, NoEntry, PermissionDenied
+from repro.common.types import Credentials, FileType, ROOT_CRED
+
+
+class TestCodec:
+    def _file(self, size=0):
+        return {"kind": int(FileType.FILE), "mode": 0o100644, "uid": 1, "gid": 2,
+                "uuid": 99, "ctime": 1.0, "mtime": 2.0, "atime": 3.0,
+                "size": size, "bsize": 4096}
+
+    def test_roundtrip(self):
+        fields = self._file(size=12345)
+        got = decode_inode(encode_inode(fields))
+        assert got == fields
+
+    def test_dir_has_no_index_region(self):
+        d = {"kind": int(FileType.DIRECTORY), "mode": 0o040755, "uid": 0, "gid": 0,
+             "uuid": 1, "size": 0, "bsize": 4096}
+        assert len(encode_inode(d)) == len(encode_inode({**d, "size": 1 << 30}))
+        assert is_dir_inode(d)
+
+    def test_index_grows_with_size_then_caps(self):
+        assert index_bytes_for(0, 4096) == 0
+        assert index_bytes_for(4096, 4096) == 8
+        assert index_bytes_for(10 * 4096, 4096) == 80
+        assert index_bytes_for(1 << 30, 4096) == MAX_INDEX_BYTES
+
+    def test_value_size_reflects_file_size(self):
+        small = encode_inode(self._file(size=0))
+        big = encode_inode(self._file(size=1 << 20))
+        assert len(big) - len(small) == index_bytes_for(1 << 20, 4096)
+
+
+class TestTreePartitionServer:
+    @pytest.fixture
+    def server(self):
+        s = TreePartitionServer(sid=1, has_root=True)
+        yield s
+        s.close()
+
+    def test_root_installed(self, server):
+        assert server.op_exists("/")
+        assert server.op_lookup("/")["kind"] == int(FileType.DIRECTORY)
+
+    def test_mkdir_local_and_lookup(self, server):
+        uuid = server.op_mkdir_local("/d", 0o700, ROOT_CRED, 5.0)
+        info = server.op_lookup("/d")
+        assert info["uuid"] == uuid
+        assert info["mode"] & 0o7777 == 0o700
+        assert server.op_count_children("/") == 1
+
+    def test_duplicate_mkdir_rejected(self, server):
+        server.op_mkdir_local("/d", 0o755, ROOT_CRED, 0.0)
+        with pytest.raises(Exists):
+            server.op_mkdir_local("/d", 0o755, ROOT_CRED, 0.0)
+
+    def test_create_and_remove_file(self, server):
+        server.op_mkdir_local("/d", 0o755, ROOT_CRED, 0.0)
+        server.op_create_local("/d/f", 0o644, ROOT_CRED, 0.0, 4096)
+        assert server.op_count_children("/d") == 1
+        removed = server.op_remove_file("/d/f", ROOT_CRED, unlink_local_dirent=True)
+        assert removed["size"] == 0
+        assert server.op_count_children("/d") == 0
+        with pytest.raises(NoEntry):
+            server.op_getattr("/d/f")
+
+    def test_remove_checks_owner(self, server):
+        server.op_create_local("/f", 0o644, Credentials(5, 5), 0.0, 4096)
+        with pytest.raises(PermissionDenied):
+            server.op_remove_file("/f", Credentials(6, 6), True)
+
+    def test_split_link_unlink(self, server):
+        uuid = server.op_put_dir_inode("/remote", 0o755, ROOT_CRED, 0.0)
+        server.op_link("/", "remote", int(FileType.DIRECTORY), uuid)
+        assert server.op_count_children("/") == 1
+        assert server.op_unlink_dirent("/", "remote") is True
+        assert server.op_unlink_dirent("/", "remote") is False
+
+    def test_setattr_rewrites_whole_value(self, server):
+        server.op_create_local("/f", 0o644, ROOT_CRED, 0.0, 4096)
+        before = server.meter.count("serialize")
+        server.op_setattr("/f", ROOT_CRED, 1.0, mode=0o600)
+        # whole-inode designs reserialize on every attribute change
+        assert server.meter.count("serialize") > before
+        assert server.op_getattr("/f")["mode"] & 0o7777 == 0o600
+
+    def test_write_meta_grows_value(self, server):
+        server.op_create_local("/f", 0o644, ROOT_CRED, 0.0, 4096)
+        small = len(server.store.get(b"I:/f"))
+        server.op_write_meta("/f", 100 * 4096, 1.0)
+        assert len(server.store.get(b"I:/f")) > small
+
+    def test_export_import_subtree(self, server):
+        server.op_mkdir_local("/t", 0o755, ROOT_CRED, 0.0)
+        server.op_mkdir_local("/t/a", 0o755, ROOT_CRED, 0.0)
+        server.op_create_local("/t/a/f", 0o644, ROOT_CRED, 0.0, 4096)
+        records = server.op_export_subtree("/t")
+        assert not server.op_exists("/t")
+        assert not server.op_exists("/t/a/f")
+        renamed = [(k, "/renamed" + p[len("/t"):], raw) for k, p, raw in records]
+        server.op_import_records(renamed)
+        assert server.op_exists("/renamed/a/f")
+        assert server.op_lookup("/renamed/a")["kind"] == int(FileType.DIRECTORY)
+
+    def test_export_excludes_siblings(self, server):
+        server.op_mkdir_local("/t", 0o755, ROOT_CRED, 0.0)
+        server.op_mkdir_local("/tt", 0o755, ROOT_CRED, 0.0)  # prefix sibling
+        records = server.op_export_subtree("/t")
+        exported_paths = {p for _, p, _ in records}
+        assert "/tt" not in exported_paths
+        assert server.op_exists("/tt")
+
+    def test_overheads_charged(self):
+        s = TreePartitionServer(sid=1, overhead_read_us=11.0, overhead_write_us=23.0,
+                                has_root=True)
+        before = s.meter.total_us
+        s.op_exists("/")
+        # meter has no policy attached here; counts still register
+        assert s.meter.count("software_overhead") == 1
+        s.op_mkdir_local("/d", 0o755, ROOT_CRED, 0.0)
+        assert s.meter.count("software_overhead") == 2
+        s.close()
+
+    def test_lsm_backend(self, tmp_path):
+        s = TreePartitionServer(sid=1, store_kind="lsm", has_root=True)
+        s.op_mkdir_local("/d", 0o755, ROOT_CRED, 0.0)
+        assert s.op_exists("/d")
+        records = s.op_export_subtree("/d")
+        assert len(records) == 2  # inode + dirent list
+        s.close()
