@@ -7,13 +7,45 @@ Usage::
     python -m repro run all --quick           # everything, scaled down
     python -m repro latency locofs-c -n 4     # ad-hoc latency run
     python -m repro throughput cephfs --op touch -n 8
+    python -m repro trace locofs --out trace.json   # Perfetto trace of a run
     python -m repro fsck-demo                 # build, corrupt, detect
+
+``--metrics`` on ``run``/``latency``/``throughput`` prints a flat metrics
+dump (per-server request counts, queue-wait/service histograms, queue
+depth and utilization); ``--metrics-out FILE`` writes it as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+#: convenience spelling: the paper system without the cache-variant suffix
+_SYSTEM_ALIASES = {"locofs": "locofs-c"}
+
+
+def _metrics_registry(args):
+    """A fresh registry when ``--metrics``/``--metrics-out`` was requested."""
+    if getattr(args, "metrics", False) or getattr(args, "metrics_out", None):
+        from repro.obs import MetricsRegistry
+
+        return MetricsRegistry()
+    return None
+
+
+def _emit_metrics(args, registry) -> None:
+    if registry is None:
+        return
+    if args.metrics:
+        from repro.harness import format_metrics
+
+        print()
+        print(format_metrics(registry))
+    if args.metrics_out:
+        from repro.obs.export import write_metrics
+
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics JSON written to {args.metrics_out}")
 
 
 def _cmd_list(args) -> int:
@@ -50,53 +82,100 @@ def _cmd_run(args) -> int:
             print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
             return 2
         names = [args.experiment]
-    for name in names:
-        mod = REGISTRY[name]
-        kwargs = {}
-        if args.quick:
-            # every module accepts these where meaningful
-            import inspect
+    registry = _metrics_registry(args)
+    if registry is not None:
+        from repro.obs import set_default_registry
 
-            params = inspect.signature(mod.run).parameters
-            if "items_per_client" in params:
-                kwargs["items_per_client"] = 8
-            if "client_scale" in params:
-                kwargs["client_scale"] = 0.15
-            if "n_items" in params:
-                kwargs["n_items"] = 15
-            if "n_files" in params:
-                kwargs["n_files"] = 5
-            if "base_dirs" in params:
-                kwargs["base_dirs"] = 2000
-            if "group_sizes" in params:
-                kwargs["group_sizes"] = (200, 500)
-        _show(mod.run(**kwargs))
+        previous = set_default_registry(registry)
+    try:
+        for name in names:
+            mod = REGISTRY[name]
+            kwargs = {}
+            if args.quick:
+                # every module accepts these where meaningful
+                import inspect
+
+                params = inspect.signature(mod.run).parameters
+                if "items_per_client" in params:
+                    kwargs["items_per_client"] = 8
+                if "client_scale" in params:
+                    kwargs["client_scale"] = 0.15
+                if "n_items" in params:
+                    kwargs["n_items"] = 15
+                if "n_files" in params:
+                    kwargs["n_files"] = 5
+                if "base_dirs" in params:
+                    kwargs["base_dirs"] = 2000
+                if "group_sizes" in params:
+                    kwargs["group_sizes"] = (200, 500)
+            _show(mod.run(**kwargs))
+    finally:
+        if registry is not None:
+            set_default_registry(previous)
+    _emit_metrics(args, registry)
     return 0
 
 
 def _cmd_latency(args) -> int:
     from repro.harness import run_latency
 
-    rec = run_latency(args.system, args.num_servers, n_items=args.items,
-                      depth=args.depth)
-    print(f"latency of {args.system} at {args.num_servers} server(s), "
+    system = _SYSTEM_ALIASES.get(args.system, args.system)
+    registry = _metrics_registry(args)
+    rec = run_latency(system, args.num_servers, n_items=args.items,
+                      depth=args.depth, metrics=registry)
+    print(f"latency of {system} at {args.num_servers} server(s), "
           f"{args.items} items, depth {args.depth}:")
     for op in rec.ops():
         s = rec.summary(op)
         print(f"  {op:<10} mean {s.mean:9.1f} µs   p99 {s.p99:9.1f} µs")
+    _emit_metrics(args, registry)
     return 0
 
 
 def _cmd_throughput(args) -> int:
     from repro.harness import run_throughput
 
-    r = run_throughput(args.system, args.num_servers, op=args.op,
-                       items_per_client=args.items, client_scale=args.client_scale)
-    print(f"{args.system} {args.op} @ {args.num_servers} server(s): "
+    system = _SYSTEM_ALIASES.get(args.system, args.system)
+    registry = _metrics_registry(args)
+    r = run_throughput(system, args.num_servers, op=args.op,
+                       items_per_client=args.items, client_scale=args.client_scale,
+                       metrics=registry)
+    print(f"{system} {args.op} @ {args.num_servers} server(s): "
           f"{r.iops:,.0f} IOPS ({r.num_clients} clients, {r.total_ops} ops, "
           f"{r.elapsed_us/1e6:.3f} virtual s)")
     busiest = max(r.server_utilization.items(), key=lambda kv: kv[1])
     print(f"busiest server: {busiest[0]} at {busiest[1]:.0%} utilization")
+    _emit_metrics(args, registry)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.harness import SYSTEM_NAMES, run_latency, run_throughput
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs.export import write_chrome_trace
+
+    system = _SYSTEM_ALIASES.get(args.system, args.system)
+    if system not in SYSTEM_NAMES:
+        print(f"unknown system {args.system!r}; try 'list'", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    registry = _metrics_registry(args) or MetricsRegistry()
+    if args.engine == "event":
+        r = run_throughput(system, args.num_servers, op=args.op,
+                           items_per_client=args.items, client_scale=0.15,
+                           tracer=tracer, metrics=registry)
+        print(f"traced {r.total_ops} measured {args.op} ops on the event engine "
+              f"({r.num_clients} clients, {r.elapsed_us/1e6:.3f} virtual s)")
+    else:
+        rec = run_latency(system, args.num_servers, n_items=args.items,
+                          depth=args.depth, tracer=tracer, metrics=registry)
+        total = sum(rec.count(op) for op in rec.ops())
+        print(f"traced {total} ops across {len(rec.ops())} mdtest phases "
+              f"on the direct engine")
+    n = write_chrome_trace(tracer, args.out)
+    print(f"{n} trace events written to {args.out}")
+    print("open in https://ui.perfetto.dev (or chrome://tracing) to inspect")
+    _emit_metrics(args, registry)
     return 0
 
 
@@ -127,15 +206,23 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="list experiments and systems")
 
+    def add_metrics_flags(p):
+        p.add_argument("--metrics", action="store_true",
+                       help="print a metrics dump after the run")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the metrics snapshot as JSON")
+
     p = sub.add_parser("run", help="run an experiment (or 'all')")
     p.add_argument("experiment")
     p.add_argument("--quick", action="store_true", help="tiny scales for a smoke pass")
+    add_metrics_flags(p)
 
     p = sub.add_parser("latency", help="single-client latency of one system")
     p.add_argument("system")
     p.add_argument("-n", "--num-servers", type=int, default=4)
     p.add_argument("--items", type=int, default=50)
     p.add_argument("--depth", type=int, default=1)
+    add_metrics_flags(p)
 
     p = sub.add_parser("throughput", help="closed-loop throughput of one system")
     p.add_argument("system")
@@ -143,6 +230,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--op", default="touch")
     p.add_argument("--items", type=int, default=30)
     p.add_argument("--client-scale", type=float, default=0.5)
+    add_metrics_flags(p)
+
+    p = sub.add_parser("trace", help="trace a run, export Chrome/Perfetto JSON")
+    p.add_argument("system", help="system name ('locofs' = locofs-c)")
+    p.add_argument("--out", required=True, metavar="FILE",
+                   help="path for the trace-event JSON")
+    p.add_argument("--engine", choices=("direct", "event"), default="direct",
+                   help="direct = mdtest latency phases; event = contended throughput")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--items", type=int, default=10)
+    p.add_argument("--depth", type=int, default=1)
+    p.add_argument("--op", default="touch", help="measured op for --engine event")
+    add_metrics_flags(p)
 
     sub.add_parser("fsck-demo", help="build a namespace, corrupt it, detect it")
 
@@ -152,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "latency": _cmd_latency,
         "throughput": _cmd_throughput,
+        "trace": _cmd_trace,
         "fsck-demo": _cmd_fsck_demo,
     }[args.command](args)
 

@@ -19,7 +19,7 @@ from repro.fsbase import FSClientBase
 from repro.metadata.acl import R_OK
 from repro.metadata.chash import ConsistentHashRing, file_placement_key
 from repro.metadata.lease import LeaseCache
-from repro.sim.rpc import Parallel, Rpc
+from repro.sim.rpc import Mark, Parallel, Rpc
 
 from .objectstore import BlockPlacement
 
@@ -61,13 +61,18 @@ class LocoClient(FSClientBase):
     def _g_dir(self, path: str) -> Generator:
         """Resolve a directory's d-inode, via the lease cache when enabled."""
         path = pathutil.normalize(path)
+        observed = self._obs_active
         if self.cache_enabled:
             hit = self.dcache.get(path, self.now_us)
             if hit is not None:
+                if observed:
+                    yield Mark("client.cache.hit", {"path": path})
                 return hit
         info = yield Rpc(DMS, "lookup", (path, self.cred))
         if self.cache_enabled:
             self.dcache.put(path, info, self.now_us)
+            if observed:
+                yield Mark("client.cache.miss", {"path": path})
         return info
 
     def _g_dir_exists(self, path: str) -> Generator:

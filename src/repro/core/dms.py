@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.common import pathutil
 from repro.common.errors import Exists, InvalidArgument, NoEntry, NotEmpty, PermissionDenied
+from repro.common.stats import Counters
 from repro.common.types import (
     Credentials,
     DEFAULT_DIR_MODE,
@@ -78,6 +79,9 @@ class DirectoryMetadataServer:
         self._meta: dict[str, tuple[int, int, int, int]] = {}
         self.track_touches = track_touches
         self.touches: dict[str, set[str]] = {}
+        #: handler-level telemetry (ACL-walk depth, rename fan-out); mirrored
+        #: into a metrics registry as ``dms.*`` when a run opts in
+        self.counters = Counters()
         if self.store.get(_ikey("/")) is None:
             self._mkroot()
         else:
@@ -123,6 +127,9 @@ class DirectoryMetadataServer:
         self.store.meter = meter
         self.meter = meter
 
+    def bind_metrics(self, registry, prefix: str) -> None:
+        self.counters.bind(registry, prefix)
+
     def _touch(self, op: str, *parts: str) -> None:
         if self.track_touches:
             self.touches.setdefault(op, set()).update(parts)
@@ -135,7 +142,9 @@ class DirectoryMetadataServer:
         the walk costs no network round trips (§3.1) — but it is real work,
         which is why deep trees reduce DMS capacity (Fig. 13).
         """
-        for anc in pathutil.ancestors(path):
+        ancestors = pathutil.ancestors(path)
+        self.counters.inc("acl.walk_levels", len(ancestors))
+        for anc in ancestors:
             buf = self.store.get(_ikey(anc))
             if buf is None:
                 raise NoEntry(anc)
@@ -301,6 +310,7 @@ class DirectoryMetadataServer:
         old_prefix = pathutil.dir_key_prefix(old)
         for p in [p for p in self._meta if p.startswith(old_prefix)]:
             self._meta[pathutil.dir_key_prefix(new) + p[len(old_prefix):]] = self._meta.pop(p)
+        self.counters.inc("rename.dirs_moved", moved + 1)
         return moved
 
     def op_exists(self, path: str) -> bool:

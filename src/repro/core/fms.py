@@ -23,6 +23,7 @@ concatenated under ``E:<directory_uuid>`` (backward dirent organization).
 from __future__ import annotations
 
 from repro.common.errors import Exists, NoEntry, PermissionDenied
+from repro.common.stats import Counters
 from repro.common.types import Credentials, FileType, S_IFREG
 from repro.common.uuidgen import UuidAllocator
 from repro.kv import HashStore
@@ -65,6 +66,9 @@ class FileMetadataServer:
         self.alloc = UuidAllocator(sid=sid)
         self.track_touches = track_touches
         self.touches: dict[str, set[str]] = {}
+        #: decoupled-vs-coupled telemetry (in-place field writes vs whole-value
+        #: rewrites); mirrored into a registry as ``fms<i>.*`` when a run opts in
+        self.counters = Counters()
         ceiling = self.store.get(self._FID_KEY)
         if ceiling is not None:
             # restart: skip the durably reserved id range
@@ -84,6 +88,9 @@ class FileMetadataServer:
     def attach_meter(self, meter: Meter) -> None:
         self.store.meter = meter
         self.meter = meter
+
+    def bind_metrics(self, registry, prefix: str) -> None:
+        self.counters.bind(registry, prefix)
 
     def _touch(self, op: str, *parts: str) -> None:
         if self.track_touches:
@@ -152,6 +159,7 @@ class FileMetadataServer:
     ) -> int:
         """Create a file inode + its backward dirent.  Touches Access + Dirent."""
         self._touch("create", "access", "dirent")
+        self.counters.inc("files.created")
         key = fkey(dir_uuid, name)
         probe = self.store.get((_A if self.decoupled else _F) + key)
         if probe is not None:
@@ -209,6 +217,7 @@ class FileMetadataServer:
                    gid: int | None = None) -> None:
         """chmod/chown: touches only the access part (Table 1)."""
         self._touch("chmod" if mode is not None else "chown", "access")
+        self.counters.inc("setattr.inplace" if self.decoupled else "setattr.rewrite")
         key = fkey(dir_uuid, name)
         if self.decoupled:
             akey = _A + key

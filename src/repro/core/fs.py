@@ -110,6 +110,17 @@ class LocoFS:
             strict_collisions=self.config.strict_collisions,
         )
 
+    # -- observability --------------------------------------------------------------
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        """Opt this deployment into virtual-time tracing and/or metrics.
+
+        Convenience passthrough to the engine (see :mod:`repro.obs`)::
+
+            from repro.obs import Tracer
+            fs = LocoFS(); fs.attach_observability(tracer := Tracer())
+        """
+        self.engine.attach_observability(tracer=tracer, metrics=metrics)
+
     # -- introspection -------------------------------------------------------------
     def total_files(self) -> int:
         return sum(s.num_files() for s in self.fms)

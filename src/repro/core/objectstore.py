@@ -10,6 +10,7 @@ d-rename ever relocates data.
 
 from __future__ import annotations
 
+from repro.common.stats import Counters
 from repro.kv import HashStore
 from repro.kv.meter import Meter
 from repro.metadata.chash import ConsistentHashRing
@@ -26,19 +27,27 @@ class ObjectStoreServer:
         self.sid = sid
         self.store = HashStore()
         self.meter = self.store.meter
+        #: data-path volume telemetry; mirrored as ``obj<i>.*`` when bound
+        self.counters = Counters()
 
     def attach_meter(self, meter: Meter) -> None:
         self.store.meter = meter
         self.meter = meter
+
+    def bind_metrics(self, registry, prefix: str) -> None:
+        self.counters.bind(registry, prefix)
 
     def op_lock(self, uuid: int) -> bool:
         """Extent-lock round trip (Lustre OST DLM)."""
         return True
 
     def op_put_block(self, uuid: int, blk_num: int, data: bytes) -> None:
+        self.counters.inc("blocks.put")
+        self.counters.inc("bytes.in", len(data))
         self.store.put(block_key(uuid, blk_num), data)
 
     def op_get_block(self, uuid: int, blk_num: int) -> bytes:
+        self.counters.inc("blocks.get")
         return self.store.get(block_key(uuid, blk_num)) or b""
 
     def op_delete_file(self, uuid: int) -> int:
@@ -46,6 +55,7 @@ class ObjectStoreServer:
         doomed = [k for k, _ in self.store.prefix_scan(uuid.to_bytes(8, "big"))]
         for k in doomed:
             self.store.delete(k)
+        self.counters.inc("blocks.deleted", len(doomed))
         return len(doomed)
 
     def num_blocks(self) -> int:

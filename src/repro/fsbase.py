@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.common.types import Credentials, DirEntry, ROOT_CRED, StatResult
+from repro.sim.rpc import SpanBegin, SpanEnd
 
 
 class FSClientBase:
@@ -56,72 +57,95 @@ class FSClientBase:
     def now_s(self) -> float:
         return self._engine.now / 1_000_000.0
 
+    @property
+    def _obs_active(self) -> bool:
+        """True when the engine has a tracer or metrics registry attached."""
+        engine = self._engine
+        return (getattr(engine, "tracer", None) is not None
+                or getattr(engine, "metrics", None) is not None)
+
     def op_generator(self, op: str, *args, **kwargs) -> Generator:
         """Raw operation generator for the throughput harness."""
         if op not in self.GENERATOR_OPS:
             raise ValueError(f"unknown operation {op!r}")
-        return getattr(self, "_g_" + op)(*args, **kwargs)
+        gen = getattr(self, "_g_" + op)(*args, **kwargs)
+        if not self._obs_active:
+            return gen
+        return self._g_traced(op, args, gen)
+
+    def _g_traced(self, op: str, args: tuple, gen: Generator) -> Generator:
+        """Bracket one operation in a ``client.<op>`` span.
+
+        The ``finally`` yields SpanEnd even when the operation raises, so a
+        failed op still closes its span at the time the error surfaced.
+        """
+        detail = {"path": args[0]} if args and isinstance(args[0], str) else {}
+        yield SpanBegin(f"client.{op}", "op", detail)
+        try:
+            return (yield from gen)
+        finally:
+            yield SpanEnd()
 
     # -- public API -----------------------------------------------------------------
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         """Create a directory."""
-        self._run(self._g_mkdir(path, mode))
+        self._run(self.op_generator("mkdir", path, mode))
 
     def rmdir(self, path: str) -> None:
         """Remove an empty directory."""
-        self._run(self._g_rmdir(path))
+        self._run(self.op_generator("rmdir", path))
 
     def readdir(self, path: str) -> list[DirEntry]:
         """List a directory (files and sub-directories)."""
-        return self._run(self._g_readdir(path))
+        return self._run(self.op_generator("readdir", path))
 
     def create(self, path: str, mode: int = 0o644) -> None:
         """Create an empty file (the harness's ``touch``)."""
-        self._run(self._g_create(path, mode))
+        self._run(self.op_generator("create", path, mode))
 
     def unlink(self, path: str) -> None:
         """Remove a file."""
-        self._run(self._g_unlink(path))
+        self._run(self.op_generator("unlink", path))
 
     def stat(self, path: str) -> StatResult:
         """stat either a file or a directory."""
-        return self._run(self._g_stat(path))
+        return self._run(self.op_generator("stat", path))
 
     def stat_dir(self, path: str) -> StatResult:
         """stat a path known to be a directory (the harness's dir-stat)."""
-        return self._run(self._g_stat_dir(path))
+        return self._run(self.op_generator("stat_dir", path))
 
     def stat_file(self, path: str) -> StatResult:
         """stat a path known to be a file (the harness's file-stat)."""
-        return self._run(self._g_stat_file(path))
+        return self._run(self.op_generator("stat_file", path))
 
     def open(self, path: str, want: int = 4) -> dict:
         """Open a file, checking access; returns a handle dict."""
-        return self._run(self._g_open(path, want))
+        return self._run(self.op_generator("open", path, want))
 
     def chmod(self, path: str, mode: int) -> None:
-        self._run(self._g_chmod(path, mode))
+        self._run(self.op_generator("chmod", path, mode))
 
     def chown(self, path: str, uid: int, gid: int) -> None:
-        self._run(self._g_chown(path, uid, gid))
+        self._run(self.op_generator("chown", path, uid, gid))
 
     def access(self, path: str, want: int = 4) -> bool:
-        return self._run(self._g_access(path, want))
+        return self._run(self.op_generator("access", path, want))
 
     def truncate(self, path: str, size: int) -> None:
-        self._run(self._g_truncate(path, size))
+        self._run(self.op_generator("truncate", path, size))
 
     def rename(self, old: str, new: str) -> None:
         """Rename a file or directory."""
-        self._run(self._g_rename(old, new))
+        self._run(self.op_generator("rename", old, new))
 
     def write(self, path: str, offset: int, data: bytes) -> int:
         """Write file data; returns bytes written."""
-        return self._run(self._g_write(path, offset, data))
+        return self._run(self.op_generator("write", path, offset, data))
 
     def read(self, path: str, offset: int, length: int) -> bytes:
         """Read file data."""
-        return self._run(self._g_read(path, offset, length))
+        return self._run(self.op_generator("read", path, offset, length))
 
     # -- to be provided by each system ------------------------------------------------
     def _g_mkdir(self, path, mode):  # pragma: no cover - interface stub

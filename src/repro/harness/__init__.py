@@ -2,7 +2,7 @@
 
 from .mdtest import FILE_META_OPS, LATENCY_OPS, run_latency
 from .registry import LABELS, SYSTEM_NAMES, make_system
-from .report import format_series, format_table, normalize
+from .report import format_metrics, format_series, format_table, normalize
 from .runner import ThroughputResult, run_throughput
 from .trace import TraceGenerator
 from .workloads import TABLE3_CLIENTS, Workload, clients_for
@@ -14,6 +14,7 @@ __all__ = [
     "LABELS",
     "SYSTEM_NAMES",
     "make_system",
+    "format_metrics",
     "format_series",
     "format_table",
     "normalize",

@@ -55,14 +55,27 @@ def run_latency(
     depth: int = 1,
     cost: CostModel | None = None,
     ops: tuple[str, ...] = LATENCY_OPS,
+    tracer=None,
+    metrics=None,
 ) -> LatencyRecorder:
-    """Run the mdtest latency phases; returns per-op latency samples (µs)."""
+    """Run the mdtest latency phases; returns per-op latency samples (µs).
+
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) opt the run into span
+    tracing and bounded metrics; with neither (and no default registry set)
+    nothing is recorded beyond the exact samples.
+    """
+    from repro.obs import get_default_registry
+
     cost = cost or CostModel()
+    if metrics is None:
+        metrics = get_default_registry()
     system = make_system(system_name, num_servers, cost=cost, engine_kind="direct")
     engine = system.engine
+    if tracer is not None or metrics is not None:
+        engine.attach_observability(tracer=tracer, metrics=metrics)
     client = system.client()
     wl = Workload(items_per_client=n_items, depth=depth)
-    rec = LatencyRecorder()
+    rec = LatencyRecorder(registry=metrics, prefix=f"client.op.{system_name}.")
 
     for path in wl.dir_chain(0):
         client.mkdir(path)

@@ -40,6 +40,43 @@ def format_series(title: str, points: Mapping, unit: str = "", fmt: str = "{:,.2
     return "\n".join(out)
 
 
+def format_metrics(registry) -> str:
+    """Plain-text dump of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    Counters and gauges print one per line; histograms and time series get
+    a small aligned table of their aggregates.
+    """
+    snap = registry.snapshot()
+    out = ["== metrics"]
+    if snap["counters"]:
+        out.append("-- counters")
+        width = max(len(n) for n in snap["counters"])
+        for name, v in snap["counters"].items():
+            out.append(f"  {name:<{width}}  {v:>14,}")
+    if snap["gauges"]:
+        out.append("-- gauges")
+        width = max(len(n) for n in snap["gauges"])
+        for name, v in snap["gauges"].items():
+            out.append(f"  {name:<{width}}  {v:>14,.3f}")
+    if snap["histograms"]:
+        out.append("-- histograms (µs)")
+        width = max(len(n) for n in snap["histograms"])
+        out.append(f"  {'name':<{width}}  {'count':>9} {'mean':>11} {'p50':>11} "
+                   f"{'p95':>11} {'p99':>11} {'max':>11}")
+        for name, h in snap["histograms"].items():
+            out.append(f"  {name:<{width}}  {h['count']:>9,} {h['mean']:>11,.1f} "
+                       f"{h['p50']:>11,.1f} {h['p95']:>11,.1f} {h['p99']:>11,.1f} "
+                       f"{h['max']:>11,.1f}")
+    if snap["timeseries"]:
+        out.append("-- time series")
+        width = max(len(n) for n in snap["timeseries"])
+        out.append(f"  {'name':<{width}}  {'samples':>9} {'mean':>11} {'max':>11}")
+        for name, t in snap["timeseries"].items():
+            out.append(f"  {name:<{width}}  {t['count']:>9,} {t['mean']:>11,.3f} "
+                       f"{t['max']:>11,.3f}")
+    return "\n".join(out)
+
+
 def normalize(rows: Mapping[str, Mapping], base_label: str) -> dict:
     """Divide every series by the base series (the paper's normalized plots)."""
     base = rows[base_label]

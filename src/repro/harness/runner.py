@@ -80,13 +80,27 @@ def run_throughput(
     depth: int = 1,
     cost: CostModel | None = None,
     client_scale: float = 1.0,
+    tracer=None,
+    metrics=None,
 ) -> ThroughputResult:
-    """One throughput cell: (system, op, #servers) -> aggregate IOPS."""
+    """One throughput cell: (system, op, #servers) -> aggregate IOPS.
+
+    With ``metrics`` (or a default registry, see :mod:`repro.obs`) the
+    event engine also samples per-server queue depth and busy-fraction
+    over virtual time, and final utilization lands in ``<server>
+    .utilization`` gauges.
+    """
+    from repro.obs import get_default_registry
+
     cost = cost or CostModel()
+    if metrics is None:
+        metrics = get_default_registry()
     if num_clients is None:
         num_clients = clients_for(system_name, num_servers, scale=client_scale)
     system = make_system(system_name, num_servers, cost=cost, engine_kind="event")
     engine = system.engine
+    if tracer is not None or metrics is not None:
+        engine.attach_observability(tracer=tracer, metrics=metrics)
     wl = Workload(items_per_client=items_per_client, depth=depth)
     rawkv = system_name == "rawkv"
 
@@ -120,6 +134,10 @@ def run_throughput(
         name: system.cluster[name].utilization(elapsed)
         for name in system.cluster.names()
     }
+    if metrics is not None:
+        metrics.counter(f"harness.{system_name}.measured_ops").inc(box["ops"])
+        for name, u in util.items():
+            metrics.gauge(f"{name}.utilization").set(u)
     close = getattr(system, "close", None)
     if close:
         close()

@@ -23,24 +23,49 @@ class CostPolicy(Protocol):
 class Meter:
     """Accumulates modeled virtual time and op counts for one store."""
 
-    __slots__ = ("policy", "total_us", "op_counts", "byte_counts")
+    __slots__ = ("policy", "total_us", "op_counts", "byte_counts", "trace",
+                 "_registry", "_prefix")
 
     def __init__(self, policy: CostPolicy | None = None):
         self.policy = policy
         self.total_us = 0.0
         self.op_counts: dict[str, int] = {}
         self.byte_counts: dict[str, int] = {}
+        #: per-dispatch KV span sink (:class:`repro.obs.tracer.KVTraceSink`);
+        #: the engines install and remove it around each server dispatch
+        self.trace = None
+        self._registry = None
+        self._prefix = ""
+
+    def bind_registry(self, registry, prefix: str = "kv.") -> None:
+        """Mirror op counts into ``registry`` as ``<prefix><op>`` counters.
+
+        Existing counts are flushed first, so binding mid-run loses nothing.
+        """
+        self._registry = registry
+        self._prefix = prefix
+        for op, n in self.op_counts.items():
+            registry.counter(prefix + op).inc(n)
 
     def charge(self, op: str, nbytes: int = 0) -> None:
         self.op_counts[op] = self.op_counts.get(op, 0) + 1
         self.byte_counts[op] = self.byte_counts.get(op, 0) + nbytes
+        if self._registry is not None:
+            self._registry.counter(self._prefix + op).inc()
         if self.policy is not None:
-            self.total_us += self.policy.cost_us(op, nbytes)
+            cost = self.policy.cost_us(op, nbytes)
+            self.total_us += cost
+            if self.trace is not None:
+                self.trace.kv(op, nbytes, cost)
 
     def charge_us(self, us: float, op: str = "explicit") -> None:
         """Charge an explicit amount of virtual time (e.g. serialization)."""
         self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        if self._registry is not None:
+            self._registry.counter(self._prefix + op).inc()
         self.total_us += us
+        if self.trace is not None:
+            self.trace.kv(op, 0, us)
 
     def snapshot(self) -> float:
         """Current accumulated virtual time; pair two snapshots to get a delta."""

@@ -1,0 +1,45 @@
+"""Virtual-time observability: span tracing, bounded metrics, exporters.
+
+Attach a :class:`Tracer` and/or :class:`MetricsRegistry` to an engine
+(``engine.attach_observability(tracer, metrics)``) and every file-system
+op, RPC, queue wait, service period, and KV operation is recorded in
+virtual time; :mod:`repro.obs.export` turns the result into a Perfetto
+trace or a flat metrics dump.  Nothing here runs unless a run opts in.
+
+The module-level *default registry* lets the CLI switch metrics on for
+code paths (the experiment modules) that build their systems internally:
+harness entry points fall back to it when no registry is passed
+explicitly.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from .tracer import Instant, KVTraceSink, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "Instant",
+    "KVTraceSink",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "set_default_registry",
+    "get_default_registry",
+]
+
+_default_registry: MetricsRegistry | None = None
+
+
+def set_default_registry(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install (or clear, with ``None``) the process-wide fallback registry."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def get_default_registry() -> MetricsRegistry | None:
+    return _default_registry

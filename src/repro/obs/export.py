@@ -1,0 +1,104 @@
+"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+
+``write_chrome_trace`` emits the Trace Event Format understood by
+Perfetto (https://ui.perfetto.dev) and chrome://tracing: every finished
+span becomes a complete ``"X"`` event and every instant a thread-scoped
+``"i"`` event.  Client processes and servers render as two process
+groups so queueing at a server lines up under the client op that caused
+it.  Timestamps are the tracer's virtual microseconds, so the exported
+file is identical across runs of the same workload.
+
+``metrics_dump`` flattens a :class:`~repro.obs.metrics.MetricsRegistry`
+into a JSON-ready dict, optionally including the raw (decimated)
+time-series samples for queue-depth/utilization plots.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+#: span categories recorded on server tracks (everything else is a client)
+_SERVER_CATS = frozenset({"queue", "serve", "kv"})
+
+_CLIENT_PID = 1
+_SERVER_PID = 2
+
+
+def _track_map(tracer: Tracer) -> dict[str, tuple[int, int]]:
+    """Assign each track a stable (pid, tid), clients first."""
+    server_tracks = {s.track for s in tracer.spans if s.cat in _SERVER_CATS}
+    server_tracks.update(i.track for i in tracer.instants if i.track in server_tracks)
+    tracks = sorted({s.track for s in tracer.spans}
+                    | {i.track for i in tracer.instants})
+    out: dict[str, tuple[int, int]] = {}
+    next_tid = {_CLIENT_PID: 1, _SERVER_PID: 1}
+    for track in tracks:
+        pid = _SERVER_PID if track in server_tracks else _CLIENT_PID
+        out[track] = (pid, next_tid[pid])
+        next_tid[pid] += 1
+    return out
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` list: metadata, then spans/instants by ``ts``."""
+    tracks = _track_map(tracer)
+    events: list[dict] = []
+    for pid, name in ((_CLIENT_PID, "clients"), (_SERVER_PID, "servers")):
+        if any(p == pid for p, _ in tracks.values()):
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": name}})
+    for track, (pid, tid) in tracks.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": track}})
+    timed: list[dict] = []
+    for span in tracer.finished_spans():
+        pid, tid = tracks[span.track]
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent is not None:
+            args["parent_id"] = span.parent.span_id
+        timed.append({
+            "ph": "X", "name": span.name, "cat": span.cat,
+            "ts": span.start_us, "dur": span.duration_us,
+            "pid": pid, "tid": tid, "args": args,
+        })
+    for inst in tracer.instants:
+        pid, tid = tracks[inst.track]
+        args = dict(inst.args)
+        if inst.parent is not None:
+            args["parent_id"] = inst.parent.span_id
+        timed.append({
+            "ph": "i", "name": inst.name, "cat": "mark", "s": "t",
+            "ts": inst.ts_us, "pid": pid, "tid": tid, "args": args,
+        })
+    timed.sort(key=lambda e: (e["ts"], e["args"].get("span_id", 0)))
+    return events + timed
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write ``{"traceEvents": [...]}`` to ``path``; returns the event count."""
+    events = chrome_trace_events(tracer)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=None, separators=(",", ":"))
+    return len(events)
+
+
+def metrics_dump(registry: MetricsRegistry, include_samples: bool = False) -> dict:
+    """JSON-ready dump of every metric; samples are opt-in (they are bulky)."""
+    doc = registry.snapshot()
+    if include_samples:
+        doc["samples"] = {
+            name: [[ts, v] for ts, v in series.samples]
+            for name, series in sorted(registry.series.items())
+        }
+    return doc
+
+
+def write_metrics(registry: MetricsRegistry, path: str,
+                  include_samples: bool = True) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(metrics_dump(registry, include_samples), f, indent=2)

@@ -1,0 +1,238 @@
+"""Bounded-memory metrics: counters, gauges, log-scale histograms, samplers.
+
+The registry is the single naming authority for every metric in the
+reproduction.  Names are dot-namespaced by layer — ``client.*`` for the
+client library, ``dms.*`` / ``fms0.*`` for per-server metrics, ``*.kv.*``
+for store operations — so a dump from any run reads the same way.
+
+Histograms use fixed log-scale buckets instead of unbounded sample lists:
+memory is constant no matter how many operations a long run records, at
+the price of bucket-resolution percentiles (one bucket spans a factor of
+``10^(1/buckets_per_decade)``; quantiles interpolate linearly inside the
+bucket).  :class:`~repro.common.stats.LatencyRecorder` keeps exact samples
+for the short paper experiments and mirrors into these histograms when a
+registry is attached.
+
+Time-series samplers record ``(virtual_ts, value)`` pairs — per-server
+queue depth and busy-fraction in the event engine — and decimate
+themselves once full, so they too are safe to leave on for long runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram over positive values (microseconds).
+
+    Bucket ``i`` covers ``[lo * g**i, lo * g**(i+1))`` with
+    ``g = 10 ** (1 / buckets_per_decade)``.  Values below ``lo`` land in an
+    underflow bucket, values at or above ``hi`` in an overflow bucket, so
+    ``record`` never fails and memory never grows.
+    """
+
+    __slots__ = ("name", "lo", "hi", "growth", "counts", "count", "total",
+                 "minimum", "maximum", "_log_g", "_log_lo")
+
+    def __init__(self, name: str, lo: float = 0.1, hi: float = 1e9,
+                 buckets_per_decade: int = 8):
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.growth = 10.0 ** (1.0 / buckets_per_decade)
+        self._log_g = math.log10(self.growth)
+        self._log_lo = math.log10(lo)
+        n = int(math.ceil((math.log10(hi) - self._log_lo) / self._log_g))
+        # [underflow] + n log-scale buckets + [overflow]
+        self.counts = [0] * (n + 2)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def _bucket(self, value: float) -> int:
+        if value < self.lo:
+            return 0
+        if value >= self.hi:
+            return len(self.counts) - 1
+        return 1 + int((math.log10(value) - self._log_lo) / self._log_g)
+
+    def bucket_bounds(self, idx: int) -> tuple[float, float]:
+        """The [lower, upper) value range of bucket ``idx``."""
+        if idx == 0:
+            return (0.0, self.lo)
+        if idx == len(self.counts) - 1:
+            return (self.hi, math.inf)
+        return (self.lo * self.growth ** (idx - 1), self.lo * self.growth ** idx)
+
+    def record(self, value: float) -> None:
+        self.counts[self._bucket(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in-bucket.
+
+        The answer is clamped to the observed min/max, so single-bucket
+        histograms still return sane values.
+        """
+        if self.count == 0:
+            return math.nan
+        target = q * (self.count - 1) + 1  # rank in [1, count]
+        seen = 0
+        for idx, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= target:
+                lo, hi = self.bucket_bounds(idx)
+                hi = min(hi, self.maximum)
+                lo = max(lo, self.minimum)
+                if hi <= lo:
+                    return lo
+                frac = (target - seen) / c
+                return lo + frac * (hi - lo)
+            seen += c
+        return self.maximum
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else math.nan,
+            "max": self.maximum if self.count else math.nan,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class TimeSeries:
+    """(virtual ts, value) samples with self-decimation at a fixed cap.
+
+    When full, every other retained sample is dropped and the keep-stride
+    doubles, so the series stays bounded while still covering the whole
+    run.  Aggregates (count/mean/max) are exact regardless of decimation.
+    """
+
+    __slots__ = ("name", "maxlen", "samples", "_stride", "_skip",
+                 "count", "total", "maximum")
+
+    def __init__(self, name: str, maxlen: int = 4096):
+        self.name = name
+        self.maxlen = maxlen
+        self.samples: list[tuple[float, float]] = []
+        self._stride = 1
+        self._skip = 0
+        self.count = 0
+        self.total = 0.0
+        self.maximum = -math.inf
+
+    def sample(self, ts_us: float, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self.samples.append((ts_us, value))
+        if len(self.samples) >= self.maxlen:
+            self.samples = self.samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.maximum if self.count else math.nan,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use; one registry per run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, **kwargs)
+        return h
+
+    def timeseries(self, name: str, maxlen: int = 4096) -> TimeSeries:
+        t = self.series.get(name)
+        if t is None:
+            t = self.series[name] = TimeSeries(name, maxlen=maxlen)
+        return t
+
+    # -- export ----------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Flat, JSON-ready dump of every metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(self.histograms.items())},
+            "timeseries": {n: t.snapshot() for n, t in sorted(self.series.items())},
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.series.clear()

@@ -3,7 +3,7 @@
 from .cluster import Cluster, ServerNode
 from .costmodel import DEFAULT_COST_MODEL, HDD, SSD, CostModel, DeviceModel, KVCostPolicy
 from .engine import DirectEngine, EventEngine
-from .rpc import LocalCharge, Parallel, Rpc, Sleep
+from .rpc import LocalCharge, Mark, Parallel, Rpc, Sleep, SpanBegin, SpanEnd
 from .simulator import Simulator
 
 __all__ = [
@@ -18,8 +18,11 @@ __all__ = [
     "DirectEngine",
     "EventEngine",
     "LocalCharge",
+    "Mark",
     "Parallel",
     "Rpc",
     "Sleep",
+    "SpanBegin",
+    "SpanEnd",
     "Simulator",
 ]

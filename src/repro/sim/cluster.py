@@ -49,6 +49,8 @@ class Cluster:
     def __init__(self, cost: CostModel):
         self.cost = cost
         self._nodes: dict[str, ServerNode] = {}
+        #: metrics registry shared by every node (None until a run opts in)
+        self.metrics = None
 
     def add(self, name: str, handler: object) -> ServerNode:
         if name in self._nodes:
@@ -59,7 +61,23 @@ class Cluster:
         attach = getattr(handler, "attach_meter", None)
         if attach is not None:
             attach(node.meter)
+        if self.metrics is not None:
+            self._bind_node(node)
         return node
+
+    def attach_metrics(self, registry) -> None:
+        """Namespace every node's KV counts (``<node>.kv.*``) and handler
+        counters (``<node>.*``) into ``registry``; applies to nodes added
+        later too."""
+        self.metrics = registry
+        for node in self._nodes.values():
+            self._bind_node(node)
+
+    def _bind_node(self, node: ServerNode) -> None:
+        node.meter.bind_registry(self.metrics, f"{node.name}.kv.")
+        bind = getattr(node.handler, "bind_metrics", None)
+        if bind is not None:
+            bind(self.metrics, f"{node.name}.")
 
     def __getitem__(self, name: str) -> ServerNode:
         return self._nodes[name]

@@ -15,17 +15,30 @@
 Both engines implement the same tiny protocol: ``run(gen)`` drives a
 generator to completion and returns its value; ``now`` is the virtual
 clock in microseconds.
+
+Observability (:mod:`repro.obs`) is attached per engine with
+``attach_observability(tracer, metrics)``.  With a tracer, every RPC
+becomes a span on the issuing client's track with child ``queue``/
+``serve`` spans on the server's track (enqueue→dispatch wait is its own
+phase) and ``kv.*`` spans for each metered store operation; ``SpanBegin``/
+``SpanEnd`` commands from the client wrappers bracket whole file-system
+ops.  With a metrics registry, the engines feed per-server request
+counters, queue-wait/service histograms and — on the event engine —
+queue-depth and busy-fraction samplers.  With neither attached every
+hook is a single ``is None`` test, so plain runs are unaffected.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable, Generator
 
 from repro.common.errors import FSError
+from repro.obs.tracer import KVTraceSink
 
 from .cluster import Cluster, ServerNode
 from .costmodel import CostModel
-from .rpc import LocalCharge, Parallel, Rpc, Sleep
+from .rpc import LocalCharge, Mark, Parallel, Rpc, Sleep, SpanBegin, SpanEnd
 from .simulator import Simulator
 
 
@@ -42,16 +55,88 @@ def _response_bytes(rpc: Rpc, result) -> int:
 class _ClientState:
     """Per-logical-client connection and link bookkeeping."""
 
-    __slots__ = ("last_server", "rpcs_issued", "downlink_free")
+    __slots__ = ("last_server", "rpcs_issued", "downlink_free", "track", "spans")
 
-    def __init__(self) -> None:
+    def __init__(self, track: str = "client") -> None:
         self.last_server: str | None = None
         self.rpcs_issued = 0
         #: absolute time at which the client's downlink is next idle
         self.downlink_free = 0.0
+        #: trace track name and open-span stack [(Span|None, name, start_us)]
+        self.track = track
+        self.spans: list[tuple] = []
 
 
-class DirectEngine:
+class _ObservableEngine:
+    """Shared observability plumbing for both engines.
+
+    ``self.tracer`` / ``self.metrics`` stay ``None`` until a run opts in;
+    every instrumentation site guards on that, so the default cost is one
+    attribute test.
+    """
+
+    tracer = None
+    metrics = None
+
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        """Opt this engine (and its cluster's meters) into tracing/metrics."""
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+            self.cluster.attach_metrics(metrics)
+
+    # -- span stack driven by SpanBegin/SpanEnd/Mark commands -------------------
+    def _span_begin(self, state: _ClientState, cmd: SpanBegin) -> None:
+        span = None
+        if self.tracer is not None:
+            parent = state.spans[-1][0] if state.spans else None
+            span = self.tracer.begin(cmd.name, cmd.cat, self.now, state.track,
+                                     parent, dict(cmd.args))
+        state.spans.append((span, cmd.name, self.now))
+
+    def _span_end(self, state: _ClientState) -> None:
+        if not state.spans:
+            return
+        span, name, t0 = state.spans.pop()
+        if span is not None:
+            self.tracer.end(span, self.now)
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+            self.metrics.histogram(name + "_us").record(self.now - t0)
+
+    def _mark(self, state: _ClientState, cmd: Mark) -> None:
+        if self.tracer is not None:
+            parent = state.spans[-1][0] if state.spans else None
+            self.tracer.instant(cmd.name, self.now, state.track, parent,
+                                dict(cmd.args))
+        if self.metrics is not None:
+            self.metrics.counter(cmd.name).inc()
+
+    # -- server-side instrumentation ---------------------------------------------
+    def _rpc_span(self, state: _ClientState, rpc: Rpc):
+        """Open the client-side span of one RPC at the current time."""
+        parent = state.spans[-1][0] if state.spans else None
+        return self.tracer.begin(f"rpc.{rpc.method}", "rpc", self.now,
+                                 state.track, parent, {"server": rpc.server})
+
+    def _record_service(self, rpc: Rpc, rpc_span, arrive: float, start: float,
+                        service: float) -> None:
+        """Record the queue/serve phases of a dispatch on the server track."""
+        if self.tracer is not None:
+            if start > arrive:
+                self.tracer.complete("queue", "queue", arrive, start,
+                                     rpc.server, rpc_span)
+            self.tracer.complete(f"serve.{rpc.method}", "serve", start,
+                                 start + service, rpc.server, rpc_span)
+        if self.metrics is not None:
+            self.metrics.counter(f"{rpc.server}.requests").inc()
+            self.metrics.counter(f"{rpc.server}.op.{rpc.method}").inc()
+            self.metrics.histogram(f"{rpc.server}.queue_wait_us").record(start - arrive)
+            self.metrics.histogram(f"{rpc.server}.service_us").record(service)
+
+
+class DirectEngine(_ObservableEngine):
     """Synchronous executor with a virtual clock.
 
     The clock models the latency a *single* client observes: every RPC
@@ -115,6 +200,12 @@ class DirectEngine:
                 self.now += cmd.us
             elif isinstance(cmd, LocalCharge):
                 self.now += cmd.us
+            elif isinstance(cmd, SpanBegin):
+                self._span_begin(self._client, cmd)
+            elif isinstance(cmd, SpanEnd):
+                self._span_end(self._client)
+            elif isinstance(cmd, Mark):
+                self._mark(self._client, cmd)
             else:
                 raise TypeError(f"unknown engine command: {cmd!r}")
 
@@ -125,26 +216,37 @@ class DirectEngine:
                 self.now += self.cost.conn_switch_us
             self._client.last_server = rpc.server
         self._client.rpcs_issued += 1
+        rpc_span = None
+        if self.tracer is not None:
+            rpc_span = self._rpc_span(self._client, rpc)
         # request wire time (unless the caller accounted it) + half RTT out
         if transfers:
             self.now += self.cost.transfer_us(rpc.send_bytes)
         self.now += self.cost.rtt_us / 2.0
         # FIFO service: parallel branches hitting one server queue up
+        arrive = self.now
         start = max(self.now, node.next_free)
         before = node.meter.snapshot()
+        if self.tracer is not None and node.meter.policy is not None:
+            node.meter.trace = KVTraceSink(self.tracer, rpc.server, rpc_span, start)
         result = None
         try:
             result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
         finally:
+            node.meter.trace = None
             service = node.meter.snapshot() - before + self.cost.server_overhead_us
             node.requests_served += 1
             node.busy_us += service
             node.next_free = start + service
             self.now = start + service
+            if self.tracer is not None or self.metrics is not None:
+                self._record_service(rpc, rpc_span, arrive, start, service)
             # response wire time + half RTT back
             if transfers:
                 self.now += self.cost.transfer_us(_response_bytes(rpc, result))
             self.now += self.cost.rtt_us / 2.0
+            if rpc_span is not None:
+                self.tracer.end(rpc_span, self.now)
         return result
 
     def reset_clock(self) -> None:
@@ -153,16 +255,21 @@ class DirectEngine:
         self.cluster.reset_load()
 
 
-class EventEngine:
+class EventEngine(_ObservableEngine):
     """Discrete-event executor for many concurrent client processes."""
 
     def __init__(self, cluster: Cluster, cost: CostModel):
         self.cluster = cluster
         self.cost = cost
         self.sim = Simulator()
+        self._n_clients = 0
         # run() calls share one logical client, so consecutive synchronous
         # operations see the same connection state the Direct engine models
-        self._default_client = _ClientState()
+        self._default_client = _ClientState("client0")
+        #: per-server finish times of outstanding requests (metrics only)
+        self._backlog: dict[str, deque] = {}
+        #: per-server (last sample ts, busy_us at that ts) for busy-fraction
+        self._util_mark: dict[str, tuple[float, float]] = {}
 
     @property
     def now(self) -> float:
@@ -190,11 +297,12 @@ class EventEngine:
         client: _ClientState | None = None,
     ) -> None:
         """Start a generator as a simulator process."""
-        state = client if client is not None else _ClientState()
+        state = client if client is not None else self.new_client()
         self.sim.after(0.0, self._step, gen, state, on_done, None, None)
 
     def new_client(self) -> _ClientState:
-        return _ClientState()
+        self._n_clients += 1
+        return _ClientState(f"client{self._n_clients}")
 
     # -- stepping machinery --------------------------------------------------------
     def _step(self, gen, state, on_done, send_value, exc) -> None:
@@ -228,6 +336,15 @@ class EventEngine:
             self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
         elif isinstance(cmd, LocalCharge):
             self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
+        elif isinstance(cmd, SpanBegin):
+            self._span_begin(state, cmd)
+            self._step(gen, state, on_done, None, None)
+        elif isinstance(cmd, SpanEnd):
+            self._span_end(state)
+            self._step(gen, state, on_done, None, None)
+        elif isinstance(cmd, Mark):
+            self._mark(state, cmd)
+            self._step(gen, state, on_done, None, None)
         else:
             raise TypeError(f"unknown engine command: {cmd!r}")
 
@@ -239,35 +356,69 @@ class EventEngine:
         if single:
             state.last_server = rpc.server
         state.rpcs_issued += 1
+        rpc_span = None
+        if self.tracer is not None:
+            rpc_span = self._rpc_span(state, rpc)
         deliver_at = self.sim.now + delay + self.cost.rtt_us / 2.0
-        self.sim.at(deliver_at, self._deliver, gen, state, on_done, rpc, single, group)
+        self.sim.at(deliver_at, self._deliver, gen, state, on_done, rpc, single,
+                    group, rpc_span)
 
-    def _deliver(self, gen, state, on_done, rpc: Rpc, single: bool, group) -> None:
+    def _deliver(self, gen, state, on_done, rpc: Rpc, single: bool, group,
+                 rpc_span) -> None:
         node: ServerNode = self.cluster[rpc.server]
-        start = max(self.sim.now, node.next_free)
+        arrive = self.sim.now
+        start = max(arrive, node.next_free)
         before = node.meter.snapshot()
+        if self.tracer is not None and node.meter.policy is not None:
+            node.meter.trace = KVTraceSink(self.tracer, rpc.server, rpc_span, start)
         err: FSError | None = None
         result = None
         try:
             result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
         except FSError as e:
             err = e
+        finally:
+            node.meter.trace = None
         service = node.meter.snapshot() - before + self.cost.server_overhead_us
         finish = start + service
         node.next_free = finish
         node.requests_served += 1
         node.busy_us += service
+        if self.tracer is not None or self.metrics is not None:
+            self._record_service(rpc, rpc_span, arrive, start, service)
+            if self.metrics is not None:
+                self._sample_server(rpc.server, node, arrive, finish)
         # the response reaches the client after the wire latency, then its
         # payload must cross the client's (serialized) downlink
         reach_client = finish + self.cost.rtt_us / 2.0
         nbytes = _response_bytes(rpc, result)
         respond_at = max(reach_client, state.downlink_free) + self.cost.transfer_us(nbytes)
         state.downlink_free = respond_at
+        if rpc_span is not None:
+            self.tracer.end(rpc_span, respond_at)
         if single:
             self.sim.at(respond_at, self._step, gen, state, on_done, result, err)
         else:
             pending, idx = group
             self.sim.at(respond_at, self._join, gen, state, on_done, pending, idx, result, err)
+
+    def _sample_server(self, name: str, node: ServerNode, arrive: float,
+                       finish: float) -> None:
+        """Per-server queue depth (requests ahead of this one still queued or
+        in service on arrival) and busy-fraction over the window since the
+        previous sample."""
+        backlog = self._backlog.get(name)
+        if backlog is None:
+            backlog = self._backlog[name] = deque()
+        while backlog and backlog[0] <= arrive:
+            backlog.popleft()
+        self.metrics.timeseries(f"{name}.queue_depth").sample(arrive, len(backlog))
+        backlog.append(finish)
+        last_ts, last_busy = self._util_mark.get(name, (0.0, 0.0))
+        if finish > last_ts:
+            frac = min(1.0, (node.busy_us - last_busy) / (finish - last_ts))
+            self.metrics.timeseries(f"{name}.utilization").sample(finish, frac)
+            self._util_mark[name] = (finish, node.busy_us)
 
     def _join(self, gen, state, on_done, pending, idx, result, err) -> None:
         pending["results"][idx] = result

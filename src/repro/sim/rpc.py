@@ -57,3 +57,35 @@ class LocalCharge:
     """Charge client-side compute time (e.g. FUSE layer, checksums)."""
 
     us: float
+
+
+@dataclass
+class SpanBegin:
+    """Open an observability span for the enclosing logical operation.
+
+    Costs no virtual time.  Only yielded when the engine has a tracer or
+    metrics registry attached (see ``FSClientBase.op_generator``), so the
+    plain fast path never pays a generator round trip for it.
+    """
+
+    name: str
+    cat: str = "op"
+    args: dict = field(default_factory=dict)
+
+
+@dataclass
+class SpanEnd:
+    """Close the innermost span opened by :class:`SpanBegin` (no time cost)."""
+
+
+@dataclass
+class Mark:
+    """A zero-duration observability event (cache hit/miss, retry, ...).
+
+    Recorded as a trace instant and/or a counter increment; costs no
+    virtual time.  Like :class:`SpanBegin`, only yielded when a run has
+    observability attached.
+    """
+
+    name: str
+    args: dict = field(default_factory=dict)

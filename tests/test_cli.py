@@ -41,6 +41,61 @@ def test_throughput_command(capsys):
     assert "IOPS" in out and "utilization" in out
 
 
+def test_trace_command(capsys, tmp_path):
+    out_file = tmp_path / "trace.json"
+    assert main(["trace", "locofs", "--out", str(out_file), "--items", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "trace events written" in out and "perfetto" in out.lower()
+    import json
+
+    events = json.loads(out_file.read_text())["traceEvents"]
+    # acceptance: a create op span with rpc and kv descendants
+    xs = [e for e in events if e["ph"] == "X"]
+    creates = [e for e in xs if e["name"] == "client.create"]
+    assert creates
+    sid = creates[0]["args"]["span_id"]
+    kids = [e for e in xs if e["args"].get("parent_id") == sid]
+    assert any(e["name"].startswith("rpc.") for e in kids)
+    kid_ids = {e["args"]["span_id"] for e in kids}
+    grandkids = [e for e in xs if e["args"].get("parent_id") in kid_ids]
+    assert any(e["name"].startswith("kv.") for e in grandkids)
+
+
+def test_trace_event_engine(capsys, tmp_path):
+    out_file = tmp_path / "trace.json"
+    assert main(["trace", "locofs-nc", "--out", str(out_file),
+                 "--engine", "event", "--items", "2", "-n", "2"]) == 0
+    assert "event engine" in capsys.readouterr().out
+    import json
+
+    assert json.loads(out_file.read_text())["traceEvents"]
+
+
+def test_trace_unknown_system(capsys, tmp_path):
+    assert main(["trace", "nope", "--out", str(tmp_path / "t.json")]) == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
+def test_metrics_flags(capsys, tmp_path):
+    mpath = tmp_path / "metrics.json"
+    assert main(["latency", "locofs", "-n", "2", "--items", "4",
+                 "--metrics", "--metrics-out", str(mpath)]) == 0
+    out = capsys.readouterr().out
+    assert "== metrics" in out and "dms.requests" in out
+    import json
+
+    doc = json.loads(mpath.read_text())
+    assert doc["counters"]["client.mkdir"] >= 4
+    assert "client.op.locofs-c.touch" in doc["histograms"]
+
+
+def test_throughput_metrics_flag(capsys):
+    assert main(["throughput", "locofs-c", "-n", "2", "--op", "touch",
+                 "--items", "5", "--client-scale", "0.1", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "queue_depth" in out and ".utilization" in out
+
+
 def test_fsck_demo(capsys):
     assert main(["fsck-demo"]) == 0
     out = capsys.readouterr().out
