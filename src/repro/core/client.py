@@ -13,10 +13,11 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.common import pathutil
-from repro.common.errors import Exists, IsADirectory, NoEntry, NotEmpty
+from repro.common.errors import Exists, IsADirectory, NoEntry, NotEmpty, PermissionDenied
 from repro.common.types import Credentials, DirEntry, ROOT_CRED, StatResult
 from repro.fsbase import FSClientBase
-from repro.metadata.acl import R_OK
+from repro.metadata import dirent as de
+from repro.metadata.acl import R_OK, W_OK, X_OK, may_access
 from repro.metadata.chash import ConsistentHashRing, file_placement_key
 from repro.metadata.lease import LeaseCache
 from repro.sim.rpc import Mark, Parallel, Rpc
@@ -24,6 +25,9 @@ from repro.sim.rpc import Mark, Parallel, Rpc
 from .objectstore import BlockPlacement
 
 DMS = "dms"
+
+#: bound on the per-client (dir_uuid, name) -> FMS placement memo
+_PLACEMENT_CACHE_MAX = 65536
 
 
 class LocoClient(FSClientBase):
@@ -52,10 +56,26 @@ class LocoClient(FSClientBase):
         self.cache_enabled = cache_enabled
         self.dcache: LeaseCache[dict] = LeaseCache(lease_seconds, cache_capacity)
         self.block_size = block_size
+        #: (dir_uuid, name) -> FMS, valid for one ring version: building
+        #: the placement key and hashing it dominate the warm-cache create
+        #: path, and the answer only changes when ring membership does
+        self._placement_cache: dict[tuple[int, str], str] = {}
+        self._placement_ring_version = self.ring.version
 
     # -- placement ------------------------------------------------------------------
     def _fms_for(self, dir_uuid: int, name: str) -> str:
-        return self.ring.lookup(file_placement_key(dir_uuid, name))
+        cache = self._placement_cache
+        if self._placement_ring_version != self.ring.version:
+            cache.clear()
+            self._placement_ring_version = self.ring.version
+        key = (dir_uuid, name)
+        fms = cache.get(key)
+        if fms is None:
+            fms = self.ring.lookup(file_placement_key(dir_uuid, name))
+            if len(cache) >= _PLACEMENT_CACHE_MAX:
+                cache.clear()
+            cache[key] = fms
+        return fms
 
     # -- directory resolution (cache or one DMS RPC) ------------------------------------
     def _g_dir(self, path: str) -> Generator:
@@ -89,11 +109,7 @@ class LocoClient(FSClientBase):
         The d-inode (cached or freshly fetched) carries mode/uid/gid, so the
         check happens client-side without an extra DMS round trip.
         """
-        from repro.metadata.acl import W_OK, X_OK, may_access
-
         if not may_access(info["mode"], info["uid"], info["gid"], self.cred, W_OK | X_OK):
-            from repro.common.errors import PermissionDenied
-
             raise PermissionDenied(info["path"])
 
     # -- directory ops -----------------------------------------------------------------
@@ -135,8 +151,6 @@ class LocoClient(FSClientBase):
             [Rpc(DMS, "readdir", (path, self.cred))]
             + [Rpc(name, "readdir", (uuid,)) for name in self.fms_names]
         )
-        from repro.metadata import dirent as de
-
         _, subdirs = results[0]
         entries: list[DirEntry] = list(de.iter_entries(subdirs))
         for buf in results[1:]:
@@ -246,8 +260,6 @@ class LocoClient(FSClientBase):
         parent, name = pathutil.split(path)
         if path == "/":
             info = yield from self._g_dir(path)
-            from repro.metadata.acl import may_access
-
             return may_access(info["mode"], info["uid"], info["gid"], self.cred, want)
         info = yield from self._g_dir(parent)
         fms = self._fms_for(info["uuid"], name)
@@ -255,8 +267,6 @@ class LocoClient(FSClientBase):
             return (yield Rpc(fms, "access", (info["uuid"], name, self.cred, want)))
         except NoEntry:
             dinfo = yield from self._g_dir(path)
-            from repro.metadata.acl import may_access
-
             return may_access(dinfo["mode"], dinfo["uid"], dinfo["gid"], self.cred, want)
 
     def _g_truncate(self, path: str, size: int) -> Generator:

@@ -40,10 +40,16 @@ class FSClientBase:
         "write",
         "read",
     )
+    #: frozenset mirror for O(1) membership in op_generator (GENERATOR_OPS
+    #: stays a tuple: tests and harnesses iterate it in order)
+    _GENERATOR_OP_SET = frozenset(GENERATOR_OPS)
 
     def __init__(self, engine, cred: Credentials = ROOT_CRED):
         self._engine = engine
         self.cred = cred
+        #: op name -> bound ``_g_<op>`` method, filled lazily; saves a
+        #: getattr + string concat per operation on the harness hot path
+        self._op_methods: dict = {}
 
     # -- engine plumbing ---------------------------------------------------------
     def _run(self, gen: Generator):
@@ -61,14 +67,19 @@ class FSClientBase:
     def _obs_active(self) -> bool:
         """True when the engine has a tracer or metrics registry attached."""
         engine = self._engine
-        return (getattr(engine, "tracer", None) is not None
-                or getattr(engine, "metrics", None) is not None)
+        try:
+            return engine.tracer is not None or engine.metrics is not None
+        except AttributeError:  # engines without observability hooks
+            return False
 
     def op_generator(self, op: str, *args, **kwargs) -> Generator:
         """Raw operation generator for the throughput harness."""
-        if op not in self.GENERATOR_OPS:
-            raise ValueError(f"unknown operation {op!r}")
-        gen = getattr(self, "_g_" + op)(*args, **kwargs)
+        fn = self._op_methods.get(op)
+        if fn is None:
+            if op not in self._GENERATOR_OP_SET:
+                raise ValueError(f"unknown operation {op!r}")
+            fn = self._op_methods[op] = getattr(self, "_g_" + op)
+        gen = fn(*args, **kwargs)
         if not self._obs_active:
             return gen
         return self._g_traced(op, args, gen)

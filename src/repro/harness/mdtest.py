@@ -21,24 +21,27 @@ LATENCY_OPS = ("mkdir", "touch", "dir-stat", "file-stat", "readdir", "rm", "rmdi
 FILE_META_OPS = ("chmod", "chown", "access", "truncate")
 
 
+#: op name -> call-tuple builder; a dispatch table so building one call
+#: costs one path computation instead of materializing all thirteen
+_OP_CALLS = {
+    "touch": lambda wl, cid, n: ("create", wl.file_path(cid, n), wl.file_mode),
+    "mkdir": lambda wl, cid, n: ("mkdir", wl.dir_path(cid, n), 0o755),
+    "file-stat": lambda wl, cid, n: ("stat_file", wl.file_path(cid, n)),
+    "dir-stat": lambda wl, cid, n: ("stat_dir", wl.dir_path(cid, n)),
+    "rm": lambda wl, cid, n: ("unlink", wl.file_path(cid, n)),
+    "rmdir": lambda wl, cid, n: ("rmdir", wl.dir_path(cid, n)),
+    "chmod": lambda wl, cid, n: ("chmod", wl.file_path(cid, n), 0o600),
+    "chown": lambda wl, cid, n: ("chown", wl.file_path(cid, n), 1000 + n % 7, 1000),
+    "access": lambda wl, cid, n: ("access", wl.file_path(cid, n), 4),
+    "truncate": lambda wl, cid, n: ("truncate", wl.file_path(cid, n), 4096),
+    "open": lambda wl, cid, n: ("open", wl.file_path(cid, n), 4),
+    "write": lambda wl, cid, n: ("write", wl.file_path(cid, n), 0, b"x" * 4096),
+    "read": lambda wl, cid, n: ("read", wl.file_path(cid, n), 0, 4096),
+}
+
+
 def _op_call(op: str, wl: Workload, cid: int, n: int):
-    f = wl.file_path(cid, n)
-    d = wl.dir_path(cid, n)
-    return {
-        "touch": ("create", f, wl.file_mode),
-        "mkdir": ("mkdir", d, 0o755),
-        "file-stat": ("stat_file", f),
-        "dir-stat": ("stat_dir", d),
-        "rm": ("unlink", f),
-        "rmdir": ("rmdir", d),
-        "chmod": ("chmod", f, 0o600),
-        "chown": ("chown", f, 1000 + n % 7, 1000),
-        "access": ("access", f, 4),
-        "truncate": ("truncate", f, 4096),
-        "open": ("open", f, 4),
-        "write": ("write", f, 0, b"x" * 4096),
-        "read": ("read", f, 0, 4096),
-    }[op]
+    return _OP_CALLS[op](wl, cid, n)
 
 
 def _measured(client, cost: CostModel, call):

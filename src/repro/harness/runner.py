@@ -49,8 +49,10 @@ def _setup_gen(client, wl: Workload, cid: int, op: str):
 
 
 def _measured_gen(client, wl: Workload, cid: int, op: str, cost: CostModel, box: dict):
+    # one shared LocalCharge: commands are read-only to the engines
+    overhead = LocalCharge(cost.client_overhead_us)
     for n in range(wl.items_per_client):
-        yield LocalCharge(cost.client_overhead_us)
+        yield overhead
         yield from client.op_generator(*_op_call(op, wl, cid, n))
         box["ops"] += 1
 
@@ -62,8 +64,9 @@ def _rawkv_setup(client, wl: Workload, cid: int, op: str):
 
 
 def _rawkv_measured(client, wl: Workload, cid: int, op: str, cost: CostModel, box: dict):
+    overhead = LocalCharge(cost.client_overhead_us)
     for n in range(wl.items_per_client):
-        yield LocalCharge(cost.client_overhead_us)
+        yield overhead
         if op == "put":
             yield from client.op_generator("put", f"k{cid}-{n}".encode(), b"v" * 200)
         else:

@@ -10,6 +10,7 @@ by the throughput experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 #: Paper Table 3 — the optimal number of clients per metadata-server count.
 TABLE3_CLIENTS: dict[str, dict[int, int]] = {
@@ -57,7 +58,10 @@ class Workload:
         # subtree-partitioned baselines spread load across their MDSes
         return f"/c{cid:04d}"
 
+    @lru_cache(maxsize=1024)
     def work_dir(self, cid: int) -> str:
+        # memoized: file_path/dir_path rebuild it for every item (the
+        # Workload is a frozen dataclass, so self is hashable)
         path = self.client_root(cid)
         for level in range(self.depth - 1):
             path += f"/d{level}"

@@ -23,6 +23,18 @@ class KVStore(abc.ABC):
     def __init__(self, meter: Meter | None = None):
         self.meter = meter if meter is not None else NullMeter()
 
+    # ``meter`` is a property so that swapping it (handlers attach their
+    # node's meter after construction) also refreshes ``self._charge``, the
+    # bound-method alias the stores use on their hot paths.
+    @property
+    def meter(self) -> Meter:
+        return self._meter
+
+    @meter.setter
+    def meter(self, meter: Meter) -> None:
+        self._meter = meter
+        self._charge = meter.charge
+
     # -- core ---------------------------------------------------------------
     @abc.abstractmethod
     def get(self, key: bytes) -> bytes | None:

@@ -33,17 +33,17 @@ class HashStore(KVStore):
 
     def get(self, key: bytes) -> bytes | None:
         value = self._data.get(key)
-        self.meter.charge("get", len(key) + (len(value) if value is not None else 0))
+        self._charge("get", len(key) + (len(value) if value is not None else 0))
         return value
 
     def put(self, key: bytes, value: bytes) -> None:
-        self.meter.charge("put", len(key) + len(value))
+        self._charge("put", len(key) + len(value))
         if self._wal is not None:
             self._wal.append_put(key, value)
         self._data[key] = value
 
     def delete(self, key: bytes) -> bool:
-        self.meter.charge("delete", len(key))
+        self._charge("delete", len(key))
         if self._wal is not None:
             self._wal.append_delete(key)
         return self._data.pop(key, None) is not None

@@ -48,15 +48,26 @@ class Meter:
             registry.counter(prefix + op).inc(n)
 
     def charge(self, op: str, nbytes: int = 0) -> None:
-        self.op_counts[op] = self.op_counts.get(op, 0) + 1
-        self.byte_counts[op] = self.byte_counts.get(op, 0) + nbytes
-        if self._registry is not None:
-            self._registry.counter(self._prefix + op).inc()
-        if self.policy is not None:
-            cost = self.policy.cost_us(op, nbytes)
+        # hottest call in a metered run: keep it to plain dict ops and one
+        # policy call, with the rare hooks (registry, trace) behind None
+        # tests; try/except beats .get once the op key exists (always,
+        # after the first charge of each kind)
+        try:
+            self.op_counts[op] += 1
+        except KeyError:
+            self.op_counts[op] = 1
+        try:
+            self.byte_counts[op] += nbytes
+        except KeyError:
+            self.byte_counts[op] = nbytes
+        policy = self.policy
+        if policy is not None:
+            cost = policy.cost_us(op, nbytes)
             self.total_us += cost
             if self.trace is not None:
                 self.trace.kv(op, nbytes, cost)
+        if self._registry is not None:
+            self._registry.counter(self._prefix + op).inc()
 
     def charge_us(self, us: float, op: str = "explicit") -> None:
         """Charge an explicit amount of virtual time (e.g. serialization)."""

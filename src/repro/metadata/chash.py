@@ -4,6 +4,21 @@ File metadata are distributed to File Metadata Servers by consistent
 hashing on ``directory_uuid + file_name``.  Virtual nodes smooth the load;
 the ring is deterministic (blake2b) so placement is stable across runs and
 across clients.
+
+Because every client builds its *own* ring over the same server names,
+ring construction used to dominate client setup (``vnodes`` blake2b
+digests per server per client).  Two process-wide memos remove that:
+
+* node → virtual-node points (the blake2b digests), hashed once per
+  ``(name, vnodes)`` ever;
+* node-set → sorted ring, shared as immutable tuples between rings with
+  the same membership.  ``sorted()`` over the combined points produces
+  exactly the list incremental ``bisect.insort`` did (the (point, name)
+  tuples are distinct), so lookups are unchanged.
+
+Each ring also keeps a bounded per-instance lookup cache keyed by the raw
+key bytes; the ``version`` counter bumps on every membership change so
+external placement caches (see ``LocoClient._fms_for``) can invalidate.
 """
 
 from __future__ import annotations
@@ -16,41 +31,83 @@ def _hash64(data: bytes) -> int:
     return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
 
 
+#: (name, vnodes) -> that node's ring points; tiny (one entry per distinct
+#: server name), never cleared
+_NODE_POINTS: dict[tuple[str, int], tuple[int, ...]] = {}
+
+#: (frozenset of names, vnodes) -> (ring tuple, points tuple), shared
+#: between identically-membered rings; capped to keep churny tests bounded
+_RING_MEMO: dict[tuple[frozenset, int], tuple[tuple, tuple]] = {}
+_RING_MEMO_MAX = 256
+
+#: per-ring lookup cache bound
+_LOOKUP_CACHE_MAX = 8192
+
+
+def _node_points(name: str, vnodes: int) -> tuple[int, ...]:
+    key = (name, vnodes)
+    pts = _NODE_POINTS.get(key)
+    if pts is None:
+        pts = tuple(_hash64(f"{name}#{v}".encode()) for v in range(vnodes))
+        _NODE_POINTS[key] = pts
+    return pts
+
+
 class ConsistentHashRing:
     """Classic consistent-hash ring with virtual nodes."""
 
     def __init__(self, vnodes: int = 128):
         self.vnodes = vnodes
-        self._ring: list[tuple[int, str]] = []
-        self._points: list[int] = []
+        self._ring: tuple[tuple[int, str], ...] = ()
+        self._points: tuple[int, ...] = ()
         self._nodes: set[str] = set()
+        #: bumps on every add/remove; placement caches key on this
+        self.version = 0
+        self._lookup_cache: dict[bytes, str] = {}
+
+    def _rebuild(self, entries) -> None:
+        memo_key = (frozenset(self._nodes), self.vnodes)
+        cached = _RING_MEMO.get(memo_key)
+        if cached is None:
+            ring = tuple(sorted(entries))
+            cached = (ring, tuple(p for p, _ in ring))
+            if len(_RING_MEMO) >= _RING_MEMO_MAX:
+                _RING_MEMO.clear()
+            _RING_MEMO[memo_key] = cached
+        self._ring, self._points = cached
+        self.version += 1
+        self._lookup_cache.clear()
 
     def add_node(self, name: str) -> None:
         if name in self._nodes:
             raise ValueError(f"node already on ring: {name!r}")
         self._nodes.add(name)
-        for v in range(self.vnodes):
-            point = _hash64(f"{name}#{v}".encode())
-            bisect.insort(self._ring, (point, name))
-        self._points = [p for p, _ in self._ring]
+        points = _node_points(name, self.vnodes)
+        self._rebuild(list(self._ring) + [(p, name) for p in points])
 
     def remove_node(self, name: str) -> None:
         if name not in self._nodes:
             raise KeyError(name)
         self._nodes.discard(name)
-        self._ring = [(p, n) for p, n in self._ring if n != name]
-        self._points = [p for p, _ in self._ring]
+        self._rebuild([(p, n) for p, n in self._ring if n != name])
 
     def lookup(self, key: bytes | str) -> str:
         if not self._ring:
             raise RuntimeError("ring is empty")
         if isinstance(key, str):
             key = key.encode()
-        point = _hash64(key)
-        idx = bisect.bisect_right(self._points, point)
-        if idx == len(self._points):
-            idx = 0
-        return self._ring[idx][1]
+        cache = self._lookup_cache
+        name = cache.get(key)
+        if name is None:
+            point = _hash64(key)
+            idx = bisect.bisect_right(self._points, point)
+            if idx == len(self._points):
+                idx = 0
+            name = self._ring[idx][1]
+            if len(cache) >= _LOOKUP_CACHE_MAX:
+                cache.clear()
+            cache[key] = name
+        return name
 
     def lookup_n(self, key: bytes | str, n: int) -> list[str]:
         """The first ``n`` distinct nodes walking clockwise from the key —

@@ -34,6 +34,9 @@ class _Field:
     fmt: str  # single struct format char, little-endian
     offset: int
     size: int
+    #: precompiled codec — ``struct.Struct`` caches the format parse, so
+    #: the hot pack/unpack path skips re-parsing "<d"/"<Q" on every call
+    codec: struct.Struct
 
 
 class FixedLayout:
@@ -44,34 +47,57 @@ class FixedLayout:
         self._fields: dict[str, _Field] = {}
         off = 0
         for fname, fmt in fields:
-            size = struct.calcsize("<" + fmt)
-            self._fields[fname] = _Field(fname, fmt, off, size)
-            off += size
+            codec = struct.Struct("<" + fmt)
+            self._fields[fname] = _Field(fname, fmt, off, codec.size, codec)
+            off += codec.size
         self.packed_size = off
         self.total_size = total_size if total_size is not None else off
         if self.total_size < self.packed_size:
             raise ValueError(f"total_size {total_size} smaller than fields ({off})")
+        # whole-record fast path: fields are contiguous and "<" means no
+        # alignment padding, so one combined Struct produces byte-for-byte
+        # what the per-field pack_into loop does
+        self._names = tuple(self._fields)
+        self._whole = struct.Struct("<" + "".join(fmt for _, fmt in fields))
+        self._tail_pad = bytes(self.total_size - self.packed_size)
 
     # -- whole-buffer ------------------------------------------------------------
     def pack(self, **values) -> bytes:
+        if len(values) == len(self._names):
+            try:
+                packed = self._whole.pack(*[values[n] for n in self._names])
+            except KeyError:
+                self._field(next(n for n in values if n not in self._fields))
+                raise  # unreachable: the probe above raises
+            return packed + self._tail_pad
         buf = bytearray(self.total_size)
+        fields = self._fields
         for fname, value in values.items():
-            f = self._field(fname)
-            struct.pack_into("<" + f.fmt, buf, f.offset, value)
+            f = fields.get(fname)
+            if f is None:
+                f = self._field(fname)  # raise the descriptive KeyError
+            f.codec.pack_into(buf, f.offset, value)
         return bytes(buf)
+
+    def pack_values(self, *values) -> bytes:
+        """Positional :meth:`pack` of *every* field, in declaration order
+        (see ``field_names``).  The hot creation paths use this to skip the
+        kwargs dict; output is byte-identical to ``pack``."""
+        if len(values) != len(self._names):
+            raise TypeError(
+                f"{self.name}: pack_values needs all {len(self._names)} fields"
+            )
+        return self._whole.pack(*values) + self._tail_pad
 
     def unpack(self, buf: bytes) -> dict:
         self._check(buf)
-        out = {}
-        for f in self._fields.values():
-            (out[f.name],) = struct.unpack_from("<" + f.fmt, buf, f.offset)
-        return out
+        return dict(zip(self._names, self._whole.unpack_from(buf)))
 
     # -- per-field (the no-deserialization access path) -----------------------------
     def read(self, buf: bytes, field: str):
         self._check(buf)
         f = self._field(field)
-        (value,) = struct.unpack_from("<" + f.fmt, buf, f.offset)
+        (value,) = f.codec.unpack_from(buf, f.offset)
         return value
 
     def write(self, buf: bytes, field: str, value) -> bytes:
@@ -79,17 +105,15 @@ class FixedLayout:
         self._check(buf)
         f = self._field(field)
         out = bytearray(buf)
-        struct.pack_into("<" + f.fmt, out, f.offset, value)
+        f.codec.pack_into(out, f.offset, value)
         return bytes(out)
 
     def encode_field(self, field: str, value) -> bytes:
         """The raw bytes of one field (for ``KVStore.write_at``)."""
-        f = self._field(field)
-        return struct.pack("<" + f.fmt, value)
+        return self._field(field).codec.pack(value)
 
     def decode_field(self, field: str, raw: bytes):
-        f = self._field(field)
-        (value,) = struct.unpack("<" + f.fmt, raw)
+        (value,) = self._field(field).codec.unpack(raw)
         return value
 
     def offset(self, field: str) -> int:

@@ -27,12 +27,23 @@ class ServerNode:
         self.next_free = 0.0
         self.requests_served = 0
         self.busy_us = 0.0
+        #: bound-method dispatch table, one getattr per op per node lifetime
+        #: instead of one per request (a dispatch is ~10 ns vs ~100 ns)
+        self._ops: dict = {
+            n[3:]: getattr(handler, n) for n in dir(handler) if n.startswith("op_")
+        }
 
     def dispatch(self, method: str, args: tuple, kwargs: dict):
-        fn = getattr(self.handler, "op_" + method, None)
+        fn = self._ops.get(method)
         if fn is None:
-            raise AttributeError(f"server {self.name!r} has no op {method!r}")
-        return fn(*args, **kwargs)
+            # a handler may grow ops after registration (test doubles do)
+            fn = getattr(self.handler, "op_" + method, None)
+            if fn is None:
+                raise AttributeError(f"server {self.name!r} has no op {method!r}")
+            self._ops[method] = fn
+        if kwargs:
+            return fn(*args, **kwargs)
+        return fn(*args)
 
     def utilization(self, elapsed_us: float) -> float:
         if elapsed_us <= 0:

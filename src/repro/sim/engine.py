@@ -16,6 +16,13 @@ Both engines implement the same tiny protocol: ``run(gen)`` drives a
 generator to completion and returns its value; ``now`` is the virtual
 clock in microseconds.
 
+Hot path: both engines dispatch on the integer ``tag`` class attribute of
+the yielded command (see :mod:`repro.sim.rpc`) instead of an
+``isinstance`` chain, read the meter's ``total_us`` attribute directly
+instead of calling ``snapshot()``, and cache cost-model constants that are
+fixed for the engine's lifetime.  None of this may change virtual-time
+arithmetic — the determinism golden test pins ``engine.now`` bit-for-bit.
+
 Observability (:mod:`repro.obs`) is attached per engine with
 ``attach_observability(tracer, metrics)``.  With a tracer, every RPC
 becomes a span on the issuing client's track with child ``queue``/
@@ -38,8 +45,34 @@ from repro.obs.tracer import KVTraceSink
 
 from .cluster import Cluster, ServerNode
 from .costmodel import CostModel
-from .rpc import LocalCharge, Mark, Parallel, Rpc, Sleep, SpanBegin, SpanEnd
+from .rpc import (
+    TAG_DELAY,
+    TAG_MARK,
+    TAG_PARALLEL,
+    TAG_RPC,
+    TAG_SPAN_BEGIN,
+    TAG_SPAN_END,
+    LocalCharge,
+    Mark,
+    Parallel,
+    Rpc,
+    Sleep,
+    SpanBegin,
+    SpanEnd,
+)
 from .simulator import Simulator
+
+__all__ = [
+    "DirectEngine",
+    "EventEngine",
+    "LocalCharge",
+    "Mark",
+    "Parallel",
+    "Rpc",
+    "Sleep",
+    "SpanBegin",
+    "SpanEnd",
+]
 
 
 def _response_bytes(rpc: Rpc, result) -> int:
@@ -150,35 +183,47 @@ class DirectEngine(_ObservableEngine):
         self.cost = cost
         self.now = 0.0
         self._client = _ClientState()
+        self._nodes = cluster._nodes
+        # one half-RTT per direction of every RPC; dividing once here gives
+        # bit-identical sums (same double, same additions)
+        self._half_rtt = cost.rtt_us / 2.0
 
     # -- protocol -------------------------------------------------------------
     def run(self, gen: Generator):
+        send = gen.send
+        throw = gen.throw
         send_value = None
         exc: BaseException | None = None
         while True:
             try:
-                cmd = gen.throw(exc) if exc is not None else gen.send(send_value)
+                cmd = throw(exc) if exc is not None else send(send_value)
             except StopIteration as stop:
                 return stop.value
             exc = None
             send_value = None
-            if isinstance(cmd, Rpc):
+            try:
+                tag = cmd.tag
+            except AttributeError:
+                raise TypeError(f"unknown engine command: {cmd!r}") from None
+            if tag == TAG_RPC:
                 try:
                     send_value = self._do_rpc(cmd)
                 except FSError as e:
                     exc = e
-            elif isinstance(cmd, Parallel):
+            elif tag == TAG_PARALLEL:
                 results = []
                 first_err: FSError | None = None
                 base = self.now
                 uplink = 0.0
                 downlink_free = base
                 slowest = base
+                transfer_us = self.cost.transfer_us
                 for rpc in cmd.rpcs:
                     # the client's uplink serializes request payloads: each
                     # branch departs once its payload (and all earlier ones)
                     # is on the wire ...
-                    uplink += self.cost.transfer_us(rpc.send_bytes)
+                    if rpc.send_bytes:
+                        uplink += transfer_us(rpc.send_bytes)
                     self.now = base + uplink
                     try:
                         results.append(self._do_rpc(rpc, single=False, transfers=False))
@@ -187,8 +232,10 @@ class DirectEngine(_ObservableEngine):
                         if first_err is None:
                             first_err = e
                     # ... and the downlink serializes response payloads
-                    arrive = max(self.now, downlink_free) + self.cost.transfer_us(
-                        _response_bytes(rpc, results[-1]))
+                    arrive = max(self.now, downlink_free)
+                    nbytes = _response_bytes(rpc, results[-1])
+                    if nbytes:
+                        arrive += transfer_us(nbytes)
                     downlink_free = arrive
                     slowest = max(slowest, arrive)
                 self.now = slowest
@@ -196,45 +243,52 @@ class DirectEngine(_ObservableEngine):
                     exc = first_err
                 else:
                     send_value = results
-            elif isinstance(cmd, Sleep):
+            elif tag == TAG_DELAY:  # Sleep and LocalCharge advance time alike
                 self.now += cmd.us
-            elif isinstance(cmd, LocalCharge):
-                self.now += cmd.us
-            elif isinstance(cmd, SpanBegin):
+            elif tag == TAG_SPAN_BEGIN:
                 self._span_begin(self._client, cmd)
-            elif isinstance(cmd, SpanEnd):
+            elif tag == TAG_SPAN_END:
                 self._span_end(self._client)
-            elif isinstance(cmd, Mark):
+            elif tag == TAG_MARK:
                 self._mark(self._client, cmd)
             else:
                 raise TypeError(f"unknown engine command: {cmd!r}")
 
     def _do_rpc(self, rpc: Rpc, single: bool = True, transfers: bool = True):
-        node = self.cluster[rpc.server]
+        cost = self.cost
+        node = self._nodes[rpc.server]
+        client = self._client
         if single:
-            if self._client.last_server is not None and self._client.last_server != rpc.server:
-                self.now += self.cost.conn_switch_us
-            self._client.last_server = rpc.server
-        self._client.rpcs_issued += 1
+            if client.last_server is not None and client.last_server != rpc.server:
+                self.now += cost.conn_switch_us
+            client.last_server = rpc.server
+        client.rpcs_issued += 1
         rpc_span = None
         if self.tracer is not None:
-            rpc_span = self._rpc_span(self._client, rpc)
+            rpc_span = self._rpc_span(client, rpc)
         # request wire time (unless the caller accounted it) + half RTT out
-        if transfers:
-            self.now += self.cost.transfer_us(rpc.send_bytes)
-        self.now += self.cost.rtt_us / 2.0
+        if transfers and rpc.send_bytes:
+            self.now += cost.transfer_us(rpc.send_bytes)
+        self.now += self._half_rtt
         # FIFO service: parallel branches hitting one server queue up
         arrive = self.now
-        start = max(self.now, node.next_free)
-        before = node.meter.snapshot()
-        if self.tracer is not None and node.meter.policy is not None:
-            node.meter.trace = KVTraceSink(self.tracer, rpc.server, rpc_span, start)
+        start = arrive if arrive > node.next_free else node.next_free
+        meter = node.meter
+        before = meter.total_us
+        if self.tracer is not None and meter.policy is not None:
+            meter.trace = KVTraceSink(self.tracer, rpc.server, rpc_span, start)
         result = None
         try:
-            result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
+            fn = node._ops.get(rpc.method)
+            if fn is None:
+                result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
+            elif rpc.kwargs:
+                result = fn(*rpc.args, **rpc.kwargs)
+            else:
+                result = fn(*rpc.args)
         finally:
-            node.meter.trace = None
-            service = node.meter.snapshot() - before + self.cost.server_overhead_us
+            meter.trace = None
+            service = meter.total_us - before + cost.server_overhead_us
             node.requests_served += 1
             node.busy_us += service
             node.next_free = start + service
@@ -243,8 +297,12 @@ class DirectEngine(_ObservableEngine):
                 self._record_service(rpc, rpc_span, arrive, start, service)
             # response wire time + half RTT back
             if transfers:
-                self.now += self.cost.transfer_us(_response_bytes(rpc, result))
-            self.now += self.cost.rtt_us / 2.0
+                nbytes = rpc.recv_bytes
+                if not nbytes and isinstance(result, (bytes, bytearray)):
+                    nbytes = len(result)
+                if nbytes:
+                    self.now += cost.transfer_us(nbytes)
+            self.now += self._half_rtt
             if rpc_span is not None:
                 self.tracer.end(rpc_span, self.now)
         return result
@@ -270,6 +328,8 @@ class EventEngine(_ObservableEngine):
         self._backlog: dict[str, deque] = {}
         #: per-server (last sample ts, busy_us at that ts) for busy-fraction
         self._util_mark: dict[str, tuple[float, float]] = {}
+        self._nodes = cluster._nodes
+        self._half_rtt = cost.rtt_us / 2.0
 
     @property
     def now(self) -> float:
@@ -318,31 +378,37 @@ class EventEngine(_ObservableEngine):
             else:  # pragma: no cover - surfacing a bug in an op generator
                 raise
             return
-        if isinstance(cmd, Rpc):
+        try:
+            tag = cmd.tag
+        except AttributeError:
+            raise TypeError(f"unknown engine command: {cmd!r}") from None
+        if tag == TAG_RPC:
             self._issue(gen, state, on_done, cmd, single=True)
-        elif isinstance(cmd, Parallel):
-            pending = {"n": len(cmd.rpcs), "results": [None] * len(cmd.rpcs), "err": None}
-            if pending["n"] == 0:
+        elif tag == TAG_PARALLEL:
+            rpcs = cmd.rpcs
+            n = len(rpcs)
+            if n == 0:
                 self.sim.after(0.0, self._step, gen, state, on_done, [], None)
                 return
+            pending = {"n": n, "results": [None] * n, "err": None}
             # the client uplink serializes request payloads: branch i cannot
             # dispatch before the preceding payloads are on the wire
             uplink = 0.0
-            for i, rpc in enumerate(cmd.rpcs):
+            transfer_us = self.cost.transfer_us
+            for i, rpc in enumerate(rpcs):
                 self._issue(gen, state, on_done, rpc, single=False, group=(pending, i),
                             extra_delay=uplink)
-                uplink += self.cost.transfer_us(rpc.send_bytes)
-        elif isinstance(cmd, Sleep):
+                if rpc.send_bytes:
+                    uplink += transfer_us(rpc.send_bytes)
+        elif tag == TAG_DELAY:  # Sleep and LocalCharge advance time alike
             self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
-        elif isinstance(cmd, LocalCharge):
-            self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
-        elif isinstance(cmd, SpanBegin):
+        elif tag == TAG_SPAN_BEGIN:
             self._span_begin(state, cmd)
             self._step(gen, state, on_done, None, None)
-        elif isinstance(cmd, SpanEnd):
+        elif tag == TAG_SPAN_END:
             self._span_end(state)
             self._step(gen, state, on_done, None, None)
-        elif isinstance(cmd, Mark):
+        elif tag == TAG_MARK:
             self._mark(state, cmd)
             self._step(gen, state, on_done, None, None)
         else:
@@ -350,36 +416,51 @@ class EventEngine(_ObservableEngine):
 
     def _issue(self, gen, state, on_done, rpc: Rpc, single: bool, group=None,
                extra_delay: float = 0.0) -> None:
-        delay = self.cost.transfer_us(rpc.send_bytes) + extra_delay
-        if single and state.last_server is not None and state.last_server != rpc.server:
-            delay += self.cost.conn_switch_us
+        cost = self.cost
+        if rpc.send_bytes:
+            delay = cost.transfer_us(rpc.send_bytes) + extra_delay
+        else:
+            delay = extra_delay
         if single:
+            if state.last_server is not None and state.last_server != rpc.server:
+                delay += cost.conn_switch_us
             state.last_server = rpc.server
         state.rpcs_issued += 1
         rpc_span = None
         if self.tracer is not None:
             rpc_span = self._rpc_span(state, rpc)
-        deliver_at = self.sim.now + delay + self.cost.rtt_us / 2.0
-        self.sim.at(deliver_at, self._deliver, gen, state, on_done, rpc, single,
-                    group, rpc_span)
+        sim = self.sim
+        deliver_at = sim.now + delay + self._half_rtt
+        sim.at(deliver_at, self._deliver, gen, state, on_done, rpc, single,
+               group, rpc_span)
 
     def _deliver(self, gen, state, on_done, rpc: Rpc, single: bool, group,
                  rpc_span) -> None:
-        node: ServerNode = self.cluster[rpc.server]
-        arrive = self.sim.now
-        start = max(arrive, node.next_free)
-        before = node.meter.snapshot()
-        if self.tracer is not None and node.meter.policy is not None:
-            node.meter.trace = KVTraceSink(self.tracer, rpc.server, rpc_span, start)
+        cost = self.cost
+        sim = self.sim
+        node: ServerNode = self._nodes[rpc.server]
+        arrive = sim.now
+        start = arrive if arrive > node.next_free else node.next_free
+        meter = node.meter
+        before = meter.total_us
+        tracer = self.tracer
+        if tracer is not None and meter.policy is not None:
+            meter.trace = KVTraceSink(tracer, rpc.server, rpc_span, start)
         err: FSError | None = None
         result = None
         try:
-            result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
+            fn = node._ops.get(rpc.method)
+            if fn is None:
+                result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
+            elif rpc.kwargs:
+                result = fn(*rpc.args, **rpc.kwargs)
+            else:
+                result = fn(*rpc.args)
         except FSError as e:
             err = e
         finally:
-            node.meter.trace = None
-        service = node.meter.snapshot() - before + self.cost.server_overhead_us
+            meter.trace = None
+        service = meter.total_us - before + cost.server_overhead_us
         finish = start + service
         node.next_free = finish
         node.requests_served += 1
@@ -390,17 +471,22 @@ class EventEngine(_ObservableEngine):
                 self._sample_server(rpc.server, node, arrive, finish)
         # the response reaches the client after the wire latency, then its
         # payload must cross the client's (serialized) downlink
-        reach_client = finish + self.cost.rtt_us / 2.0
-        nbytes = _response_bytes(rpc, result)
-        respond_at = max(reach_client, state.downlink_free) + self.cost.transfer_us(nbytes)
+        reach_client = finish + self._half_rtt
+        nbytes = rpc.recv_bytes
+        if not nbytes and isinstance(result, (bytes, bytearray)):
+            nbytes = len(result)
+        respond_at = reach_client if reach_client > state.downlink_free \
+            else state.downlink_free
+        if nbytes:
+            respond_at += cost.transfer_us(nbytes)
         state.downlink_free = respond_at
         if rpc_span is not None:
             self.tracer.end(rpc_span, respond_at)
         if single:
-            self.sim.at(respond_at, self._step, gen, state, on_done, result, err)
+            sim.at(respond_at, self._step, gen, state, on_done, result, err)
         else:
             pending, idx = group
-            self.sim.at(respond_at, self._join, gen, state, on_done, pending, idx, result, err)
+            sim.at(respond_at, self._join, gen, state, on_done, pending, idx, result, err)
 
     def _sample_server(self, name: str, node: ServerNode, arrive: float,
                        finish: float) -> None:

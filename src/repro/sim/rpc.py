@@ -8,14 +8,31 @@ executes commands immediately against in-process servers while advancing a
 virtual clock (functional tests, single-client latency), and the
 :class:`~repro.sim.engine.EventEngine` schedules them on the discrete-event
 simulator with per-server FIFO queues (closed-loop throughput).
+
+The command classes are deliberately *not* dataclasses: they sit on the
+hottest allocation path in the simulator (one ``Rpc`` per round trip, for
+millions of round trips per run), so each is a plain ``__slots__`` class
+with a class-level integer ``tag``.  The engines dispatch on ``cmd.tag``
+with integer comparisons instead of walking an ``isinstance`` chain, and
+:class:`Sleep`/:class:`LocalCharge` share one tag because the engines
+treat them identically (both just advance virtual time by ``us``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+#: engine dispatch tags (class attribute ``tag`` of every command class)
+TAG_RPC = 0
+TAG_PARALLEL = 1
+TAG_DELAY = 2  # Sleep and LocalCharge: advance time, nothing else
+TAG_SPAN_BEGIN = 3
+TAG_SPAN_END = 4
+TAG_MARK = 5
+
+#: shared default for Rpc.kwargs — never mutate (handlers receive a copy
+#: via ``**kwargs`` unpacking, so sharing one empty dict is safe)
+_NO_KWARGS: dict = {}
 
 
-@dataclass
 class Rpc:
     """One request/response round trip to a named server.
 
@@ -25,15 +42,25 @@ class Rpc:
     are far below the bandwidth limit, per the paper's §2.2.1 analysis).
     """
 
-    server: str
-    method: str
-    args: tuple = ()
-    kwargs: dict = field(default_factory=dict)
-    send_bytes: int = 0
-    recv_bytes: int = 0
+    __slots__ = ("server", "method", "args", "kwargs", "send_bytes", "recv_bytes")
+    tag = TAG_RPC
+
+    def __init__(self, server: str, method: str, args: tuple = (),
+                 kwargs: dict | None = None, send_bytes: int = 0,
+                 recv_bytes: int = 0):
+        self.server = server
+        self.method = method
+        self.args = args
+        self.kwargs = _NO_KWARGS if kwargs is None else kwargs
+        self.send_bytes = send_bytes
+        self.recv_bytes = recv_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Rpc({self.server!r}, {self.method!r}, {self.args!r}, "
+                f"{self.kwargs!r}, send_bytes={self.send_bytes}, "
+                f"recv_bytes={self.recv_bytes})")
 
 
-@dataclass
 class Parallel:
     """Fan out several RPCs concurrently; resumes with the list of results.
 
@@ -42,24 +69,42 @@ class Parallel:
     issuing generator *after* all branches complete.
     """
 
-    rpcs: list[Rpc]
+    __slots__ = ("rpcs",)
+    tag = TAG_PARALLEL
+
+    def __init__(self, rpcs: list[Rpc]):
+        self.rpcs = rpcs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parallel({self.rpcs!r})"
 
 
-@dataclass
 class Sleep:
     """Advance virtual time without doing work (think-time, backoff)."""
 
-    us: float
+    __slots__ = ("us",)
+    tag = TAG_DELAY
+
+    def __init__(self, us: float):
+        self.us = us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sleep({self.us!r})"
 
 
-@dataclass
 class LocalCharge:
     """Charge client-side compute time (e.g. FUSE layer, checksums)."""
 
-    us: float
+    __slots__ = ("us",)
+    tag = TAG_DELAY
+
+    def __init__(self, us: float):
+        self.us = us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LocalCharge({self.us!r})"
 
 
-@dataclass
 class SpanBegin:
     """Open an observability span for the enclosing logical operation.
 
@@ -68,17 +113,28 @@ class SpanBegin:
     plain fast path never pays a generator round trip for it.
     """
 
-    name: str
-    cat: str = "op"
-    args: dict = field(default_factory=dict)
+    __slots__ = ("name", "cat", "args")
+    tag = TAG_SPAN_BEGIN
+
+    def __init__(self, name: str, cat: str = "op", args: dict | None = None):
+        self.name = name
+        self.cat = cat
+        self.args = {} if args is None else args
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SpanBegin({self.name!r}, {self.cat!r}, {self.args!r})"
 
 
-@dataclass
 class SpanEnd:
     """Close the innermost span opened by :class:`SpanBegin` (no time cost)."""
 
+    __slots__ = ()
+    tag = TAG_SPAN_END
 
-@dataclass
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SpanEnd()"
+
+
 class Mark:
     """A zero-duration observability event (cache hit/miss, retry, ...).
 
@@ -87,5 +143,12 @@ class Mark:
     observability attached.
     """
 
-    name: str
-    args: dict = field(default_factory=dict)
+    __slots__ = ("name", "args")
+    tag = TAG_MARK
+
+    def __init__(self, name: str, args: dict | None = None):
+        self.name = name
+        self.args = {} if args is None else args
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Mark({self.name!r}, {self.args!r})"

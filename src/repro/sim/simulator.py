@@ -1,49 +1,99 @@
 """Deterministic discrete-event simulation kernel.
 
-A minimal event-heap scheduler: callbacks fire in (time, sequence) order,
-so two events at the same instant run in scheduling order and every run is
+A minimal event scheduler: callbacks fire in (time, sequence) order, so
+two events at the same instant run in scheduling order and every run is
 exactly reproducible.  Time is in virtual microseconds.
+
+Two structures back the schedule:
+
+* an **event heap** for future events, keyed ``(time, seq)``;
+* a **same-instant ready queue** (FIFO deque) for events scheduled *at the
+  current time* — zero-delay continuations such as process spawns and
+  empty ``Parallel`` resumes.  These are the most common schedule calls in
+  closed-loop runs, and a deque append/popleft is O(1) against the heap's
+  O(log n).
+
+The split cannot reorder anything: a pending ready entry was scheduled at
+the current instant, so its sequence number is larger than that of any
+heap entry carrying the same timestamp (those were pushed before the clock
+reached it).  ``run`` therefore drains heap events whose time equals
+``now`` before ready entries, and never advances the clock while the ready
+queue is non-empty — exactly the (time, seq) order a single heap produces.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Callable
 
 
 class Simulator:
-    """Event heap with a virtual clock."""
+    """Event heap + same-instant ready queue with a virtual clock."""
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._ready: deque[tuple[Callable, tuple]] = deque()
         self._seq = 0
         self._events_processed = 0
 
     def at(self, time: float, fn: Callable, *args) -> None:
         """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
-        if time < self.now:
-            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        if time <= self.now:
+            if time < self.now:
+                raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+            self._ready.append((fn, args))
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (time, self._seq, fn, args))
 
     def after(self, delay: float, fn: Callable, *args) -> None:
         """Schedule ``fn(*args)`` after ``delay`` microseconds."""
-        if delay < 0:
+        if delay < 0.0:
             raise ValueError(f"negative delay: {delay}")
-        self.at(self.now + delay, fn, *args)
+        # the time comparison (not the delay) decides the queue, so a delay
+        # small enough to vanish in float addition still lands in the ready
+        # queue in scheduling order
+        time = self.now + delay
+        if time <= self.now:
+            self._ready.append((fn, args))
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (time, self._seq, fn, args))
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Process events until the heap drains, ``until`` is reached, or
+        """Process events until the schedule drains, ``until`` is reached, or
         ``max_events`` have fired (a runaway guard for tests)."""
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        if until is None and max_events is None:
+            # the common full-drain loop, with no per-event bound checks
+            while True:
+                if ready and not (heap and heap[0][0] <= self.now):
+                    fn, args = popleft()
+                elif heap:
+                    time, _, fn, args = pop(heap)
+                    self.now = time
+                else:
+                    return
+                self._events_processed += 1
+                fn(*args)
         n = 0
-        while self._heap:
-            time, _, fn, args = self._heap[0]
-            if until is not None and time > until:
-                self.now = until
+        while True:
+            if ready and not (heap and heap[0][0] <= self.now):
+                fn, args = popleft()
+            elif heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                _, _, fn, args = pop(heap)
+                self.now = time
+            else:
                 return
-            heapq.heappop(self._heap)
-            self.now = time
             self._events_processed += 1
             fn(*args)
             n += 1
@@ -52,7 +102,7 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
 
     @property
     def events_processed(self) -> int:

@@ -1,0 +1,67 @@
+"""Golden regression test: virtual-time results are bit-identical.
+
+The goldens in ``tests/goldens/determinism.json`` were captured from the
+tree *before* the hot-path optimizations landed.  Every optimization since
+is required to leave the simulated clock and per-op latency statistics
+exactly unchanged — not approximately, bit-for-bit (JSON round-trips
+doubles exactly, so ``==`` on the parsed documents is the right check).
+
+If this test fails after an intentional model change (new cost model,
+different op mix), recapture with::
+
+    PYTHONPATH=src python scripts/capture_determinism_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import goldens
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "determinism.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return goldens.determinism_fingerprint()
+
+
+def test_golden_covers_all_seven_systems(golden):
+    assert set(golden["systems"]) == set(goldens.GOLDEN_SYSTEMS)
+    assert len(goldens.GOLDEN_SYSTEMS) == 7
+
+
+def test_schema_and_workload_unchanged(golden, current):
+    assert current["schema"] == golden["schema"]
+    assert current["workload"] == golden["workload"]
+
+
+@pytest.mark.parametrize("system", goldens.GOLDEN_SYSTEMS)
+def test_virtual_time_bit_identical(system, golden, current):
+    want = golden["systems"][system]
+    got = current["systems"][system]
+    # direct engine: final virtual clock after the scripted op sequence
+    assert got["direct_now_us"] == want["direct_now_us"], (
+        f"{system}: DirectEngine virtual clock drifted"
+    )
+    # per-op latency statistics (count/mean/percentiles/min/max)
+    assert got["latency_stats"] == want["latency_stats"], (
+        f"{system}: op latency statistics drifted"
+    )
+    # event engine: closed-loop elapsed time and completed-op totals
+    assert got["event_elapsed_us"] == want["event_elapsed_us"], (
+        f"{system}: EventEngine elapsed virtual time drifted"
+    )
+    assert got["event_total_ops"] == want["event_total_ops"]
+    assert got["event_num_clients"] == want["event_num_clients"]
+
+
+def test_full_document_equality(golden, current):
+    # belt and braces: any field added/removed/changed anywhere shows up here
+    assert current == golden
