@@ -18,11 +18,11 @@ Quickstart::
     assert client.read("/projects/readme.txt", 0, 5) == b"hello"
 """
 
-from .common import ClusterConfig, CacheConfig, Credentials
+from .common import ClusterConfig, BatchConfig, CacheConfig, Credentials
 
 __version__ = "1.0.0"
 
-__all__ = ["LocoFS", "ClusterConfig", "CacheConfig", "Credentials", "__version__"]
+__all__ = ["LocoFS", "ClusterConfig", "BatchConfig", "CacheConfig", "Credentials", "__version__"]
 
 
 def __getattr__(name):

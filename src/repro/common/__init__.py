@@ -1,7 +1,7 @@
 """Shared primitives: errors, types, paths, uuids, stats, configuration."""
 
 from . import errors, pathutil
-from .config import CacheConfig, ClusterConfig
+from .config import BatchConfig, CacheConfig, ClusterConfig
 from .errors import (
     CrossDevice,
     Exists,
@@ -21,6 +21,7 @@ from .uuidgen import ROOT_UUID, UuidAllocator, make_uuid, uuid_fid, uuid_sid
 __all__ = [
     "errors",
     "pathutil",
+    "BatchConfig",
     "CacheConfig",
     "ClusterConfig",
     "CrossDevice",

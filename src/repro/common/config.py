@@ -15,6 +15,34 @@ class CacheConfig:
 
 
 @dataclass
+class BatchConfig:
+    """Client write-behind batching (the LocoFS-B variant).
+
+    When enabled, the client defers small metadata writes (file creates)
+    into per-FMS queues and ships each queue as one batched RPC.  A queue
+    is flushed when it reaches ``max_ops`` operations or ``max_bytes`` of
+    payload, when a pending entry is older than ``max_age_us`` of virtual
+    time, or whenever a read needs one of its keys (read-your-writes).
+    """
+
+    enabled: bool = False
+    #: flush after this many deferred ops per server (the batch budget)
+    max_ops: int = 8
+    #: flush once the deferred request payload reaches this many bytes
+    max_bytes: int = 4096
+    #: flush any queue whose oldest entry exceeds this virtual age
+    max_age_us: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.max_ops < 1:
+            raise ValueError("batch needs max_ops >= 1")
+        if self.max_bytes < 1:
+            raise ValueError("batch needs max_bytes >= 1")
+        if self.max_age_us <= 0:
+            raise ValueError("batch needs a positive max_age_us")
+
+
+@dataclass
 class ClusterConfig:
     """Shape of the simulated deployment.
 
@@ -29,6 +57,8 @@ class ClusterConfig:
     data_replicas: int = 1
     block_size: int = 4096
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: client write-behind batching (locofs-b); off for the paper systems
+    batch: BatchConfig = field(default_factory=BatchConfig)
     # LocoFS-specific toggles used by the ablation experiments:
     decoupled_file_metadata: bool = True  # Fig. 11: LocoFS-DF vs LocoFS-CF
     dms_backend: str = "btree"  # "btree" (paper default) or "hash" (Fig. 14)

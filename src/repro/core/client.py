@@ -20,7 +20,7 @@ from repro.metadata import dirent as de
 from repro.metadata.acl import R_OK, W_OK, X_OK, may_access
 from repro.metadata.chash import ConsistentHashRing, file_placement_key
 from repro.metadata.lease import LeaseCache
-from repro.sim.rpc import Mark, Parallel, Rpc
+from repro.sim.rpc import Batch, Mark, Parallel, Rpc
 
 from .objectstore import BlockPlacement
 
@@ -407,3 +407,296 @@ class LocoClient(FSClientBase):
             "entries": len(self.dcache),
             "hit_rate": self.dcache.hit_rate,
         }
+
+
+class _PendingQueue:
+    """Write-behind state for one FMS: the deferred create entries plus
+    the bookkeeping the flush rules need."""
+
+    __slots__ = ("entries", "dirs", "lease_paths", "nbytes", "oldest_us")
+
+    def __init__(self, now_us: float):
+        self.entries: list[tuple] = []  # op_create argument tuples, in order
+        self.dirs: set[int] = set()  # parent dir uuids with entries here
+        self.lease_paths: set[str] = set()  # parent paths for lease piggybacking
+        self.nbytes = 0  # modeled request payload so far
+        self.oldest_us = now_us  # enqueue time of the oldest entry
+
+
+#: modeled wire size of one deferred create beyond its name (fixed header:
+#: dir uuid, mode, cred, timestamp, block size)
+_CREATE_WIRE_BASE = 48
+
+
+class BatchingLocoClient(LocoClient):
+    """LocoFS client with a write-behind metadata queue (LocoFS-B).
+
+    File creates are not sent immediately: they are queued per target FMS
+    and shipped as one :class:`~repro.sim.rpc.Batch` round trip, so the
+    connection switch, the RTT, and the server's per-request overhead
+    amortize over the batch while the FMS applies the whole flush under a
+    single group commit.  A queue is flushed when it reaches the op or
+    byte budget, when its oldest entry exceeds the virtual age bound, or —
+    read-your-writes — the moment any operation touches a file that is
+    still pending (``readdir``/``rmdir`` flush every queue holding entries
+    of that directory).  Deferred errors (duplicate create) surface at the
+    flush boundary; a duplicate within the pending window is detected
+    client-side.  See DESIGN.md "Batching & group commit" for the full
+    consistency-semantics table.
+    """
+
+    def __init__(self, *args, batch=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        from repro.common.config import BatchConfig
+
+        batch = batch if batch is not None else BatchConfig(enabled=True)
+        self.batch_max_ops = batch.max_ops
+        self.batch_max_bytes = batch.max_bytes
+        self.batch_max_age_us = batch.max_age_us
+        #: per-FMS write-behind queues
+        self._pending: dict[str, _PendingQueue] = {}
+        #: (dir_uuid, name) -> FMS holding its deferred create
+        self._dirty: dict[tuple[int, str], str] = {}
+        #: last parent (mode, uid, gid) that passed the write check — the
+        #: fast-path create memo (the verdict depends only on these + cred)
+        self._perm_ok: tuple | None = None
+
+    # -- write-behind plumbing ---------------------------------------------------------
+    @property
+    def pending_ops(self) -> int:
+        return sum(len(p.entries) for p in self._pending.values())
+
+    def _set_queue_gauge(self) -> None:
+        metrics = getattr(self._engine, "metrics", None)
+        if metrics is not None:
+            metrics.gauge("client.batch.queue_depth").set(self.pending_ops)
+
+    def _g_flush_server(self, server: str, reason: str) -> Generator:
+        """Ship one FMS queue as a single batched round trip."""
+        pend = self._pending.pop(server, None)
+        if pend is None:
+            return None
+        dirty = self._dirty
+        for e in pend.entries:
+            dirty.pop((e[0], e[1]), None)
+        if self._obs_active:
+            yield Mark("client.batch.flush",
+                       {"server": server, "n": len(pend.entries), "reason": reason})
+            self._set_queue_gauge()
+        results = yield Batch(server, [Rpc(server, "create_batch",
+                                           (tuple(pend.entries),),
+                                           send_bytes=pend.nbytes)])
+        # writing under a cached parent piggybacks a lease renewal: the
+        # server saw live traffic for the directory, no separate RPC needed
+        now = self.now_us
+        for path in pend.lease_paths:
+            self.dcache.renew(path, now)
+        out = results[0]
+        if out["exists"]:
+            # deferred duplicate create: surfaces at the flush boundary
+            raise Exists(out["exists"][0])
+        return out
+
+    def _g_flush_stale(self) -> Generator:
+        """Flush every queue whose oldest entry exceeds the age bound."""
+        if not self._pending:
+            return
+        now = self.now_us
+        limit = self.batch_max_age_us
+        stale = [s for s, p in self._pending.items() if now - p.oldest_us >= limit]
+        for server in stale:
+            yield from self._g_flush_server(server, "age")
+
+    def _g_flush(self) -> Generator:
+        """Drain every queue (end of a run, or an explicit flush())."""
+        for server in list(self._pending):
+            yield from self._g_flush_server(server, "drain")
+
+    def flush(self) -> None:
+        """Synchronously drain the write-behind queue."""
+        self._run(self._g_flush())
+
+    def _g_flush_key(self, dir_uuid: int, name: str) -> Generator:
+        server = self._dirty.get((dir_uuid, name))
+        if server is not None:
+            yield from self._g_flush_server(server, "read")
+
+    def _g_flush_dir(self, dir_uuid: int) -> Generator:
+        tainted = [s for s, p in self._pending.items() if dir_uuid in p.dirs]
+        for server in tainted:
+            yield from self._g_flush_server(server, "read")
+
+    def _g_file_barrier(self, path: str) -> Generator:
+        """Read-your-writes: flush before any op touching a possibly-dirty
+        file key.  The parent resolution below is served by the directory
+        cache on the overridden op's own lookup, so the barrier costs no
+        extra round trip on the warm path."""
+        yield from self._g_flush_stale()
+        if not self._dirty:
+            return
+        parent, name = pathutil.split(path)
+        info = yield from self._g_dir(parent)
+        yield from self._g_flush_key(info["uuid"], name)
+
+    # -- deferred create ----------------------------------------------------------------
+    def create(self, path: str, mode: int = 0o644) -> None:
+        """Deferred create, fast path.
+
+        A create that defers is a pure client-side enqueue — no virtual
+        time passes and no command reaches the engine — so driving it
+        through a generator is pure overhead.  This override handles the
+        warm case (cached parent, no flush trigger, no strict-collision
+        probe, no tracing) with plain attribute access and falls back to
+        the generator path for everything else.  Virtual time and flush
+        order are identical either way; only the Python-level cost
+        differs.
+        """
+        eng = self._engine
+        if (getattr(eng, "tracer", True) is not None
+                or eng.metrics is not None or self.strict_collisions):
+            return self._run(self.op_generator("create", path, mode))
+        now = eng.now
+        pending = self._pending
+        if pending:
+            limit = self.batch_max_age_us
+            for p in pending.values():
+                if now - p.oldest_us >= limit:  # stale queue: slow path flushes
+                    return self._run(self.op_generator("create", path, mode))
+        parent, name = pathutil.split(path)
+        if not name:
+            raise Exists(path)
+        info = (self.dcache.get(pathutil.normalize(parent), now)
+                if self.cache_enabled else None)
+        if info is None:  # parent resolution needs a DMS round trip
+            return self._run(self.op_generator("create", path, mode))
+        perm = (info["mode"], info["uid"], info["gid"])
+        if perm != self._perm_ok:  # memo: same parent ACL, same verdict
+            self._check_parent_write(info)
+            self._perm_ok = perm
+        dir_uuid = info["uuid"]
+        key = (dir_uuid, name)
+        if key in self._dirty:
+            raise Exists(path)
+        server = self._fms_for(dir_uuid, name)
+        pend = pending.get(server)
+        if pend is None:
+            pend = pending[server] = _PendingQueue(now)
+        pend.entries.append((dir_uuid, name, mode, self.cred,
+                             now / 1_000_000.0, self.block_size))
+        pend.dirs.add(dir_uuid)
+        pend.lease_paths.add(info["path"])
+        pend.nbytes += _CREATE_WIRE_BASE + len(name)
+        self._dirty[key] = server
+        if (len(pend.entries) >= self.batch_max_ops
+                or pend.nbytes >= self.batch_max_bytes):
+            self._run(self._g_flush_server(server, "full"))
+        return None
+
+    def _g_create(self, path: str, mode: int = 0o644) -> Generator:
+        yield from self._g_flush_stale()
+        now = self.now_s
+        parent, name = pathutil.split(path)
+        if not name:
+            raise Exists(path)
+        info = yield from self._g_dir(parent)
+        self._check_parent_write(info)
+        if self.strict_collisions:
+            dir_exists = yield from self._g_dir_exists(pathutil.join(parent, name))
+            if dir_exists:
+                raise IsADirectory(path)
+        dir_uuid = info["uuid"]
+        key = (dir_uuid, name)
+        if key in self._dirty:
+            # duplicate create inside the pending window fails client-side,
+            # exactly as the server-side probe would at flush time
+            raise Exists(path)
+        server = self._fms_for(dir_uuid, name)
+        pend = self._pending.get(server)
+        if pend is None:
+            pend = self._pending[server] = _PendingQueue(self.now_us)
+        pend.entries.append((dir_uuid, name, mode, self.cred, now, self.block_size))
+        pend.dirs.add(dir_uuid)
+        pend.lease_paths.add(info["path"])
+        pend.nbytes += _CREATE_WIRE_BASE + len(name)
+        self._dirty[key] = server
+        if self._obs_active:
+            self._set_queue_gauge()
+        if len(pend.entries) >= self.batch_max_ops or pend.nbytes >= self.batch_max_bytes:
+            yield from self._g_flush_server(server, "full")
+        # deferred: the uuid is not known until the batch is flushed
+        return None
+
+    # -- read-your-writes barriers on every other op ---------------------------------------
+    def _g_stat_file(self, path: str) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_stat_file(path))
+
+    def _g_stat(self, path: str) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_stat(path))
+
+    def _g_stat_dir(self, path: str) -> Generator:
+        yield from self._g_flush_stale()
+        return (yield from super()._g_stat_dir(path))
+
+    def _g_open(self, path: str, want: int = R_OK) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_open(path, want))
+
+    def _g_unlink(self, path: str) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_unlink(path))
+
+    def _g_chmod(self, path: str, mode: int) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_chmod(path, mode))
+
+    def _g_chown(self, path: str, uid: int, gid: int) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_chown(path, uid, gid))
+
+    def _g_access(self, path: str, want: int = R_OK) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_access(path, want))
+
+    def _g_truncate(self, path: str, size: int) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_truncate(path, size))
+
+    def _g_write(self, path: str, offset: int, data: bytes) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_write(path, offset, data))
+
+    def _g_read(self, path: str, offset: int, length: int) -> Generator:
+        yield from self._g_file_barrier(path)
+        return (yield from super()._g_read(path, offset, length))
+
+    def _g_rename(self, old: str, new: str) -> Generator:
+        yield from self._g_file_barrier(old)
+        yield from self._g_file_barrier(new)
+        return (yield from super()._g_rename(old, new))
+
+    def _g_mkdir(self, path: str, mode: int = 0o755) -> Generator:
+        yield from self._g_flush_stale()
+        if self.strict_collisions and self._dirty:
+            # the mkdir probe must see a pending file of the same name
+            p = pathutil.normalize(path)
+            if p != "/":
+                parent, name = pathutil.split(p)
+                info = yield from self._g_dir(parent)
+                yield from self._g_flush_key(info["uuid"], name)
+        return (yield from super()._g_mkdir(path, mode))
+
+    def _g_readdir(self, path: str) -> Generator:
+        yield from self._g_flush_stale()
+        if self._pending:
+            info = yield from self._g_dir(pathutil.normalize(path))
+            yield from self._g_flush_dir(info["uuid"])
+        return (yield from super()._g_readdir(path))
+
+    def _g_rmdir(self, path: str) -> Generator:
+        yield from self._g_flush_stale()
+        if self._pending:
+            info = yield from self._g_dir(pathutil.normalize(path))
+            yield from self._g_flush_dir(info["uuid"])
+        return (yield from super()._g_rmdir(path))

@@ -83,6 +83,20 @@ class FileMetadataServer:
             self.store.put(self._FID_KEY, (fid + self.FID_RESERVE).to_bytes(8, "big"))
         return uuid
 
+    def _allocate_uuids(self, n: int) -> list[int]:
+        """Allocate ``n`` uuids with one ceiling check (fids are monotonic,
+        so checking the last allocation covers the whole batch)."""
+        uuids = [self.alloc.allocate() for _ in range(n)]
+        fid = uuid_fid(uuids[-1])
+        ceiling = self.store.get(self._FID_KEY)
+        if ceiling is None or fid > int.from_bytes(ceiling, "big"):
+            self.store.put(self._FID_KEY, (fid + self.FID_RESERVE).to_bytes(8, "big"))
+        return uuids
+
+    def group_commit(self):
+        """Group-commit scope for batched RPCs (one WAL fsync per batch)."""
+        return self.store.group()
+
     def attach_meter(self, meter: Meter) -> None:
         self.store.meter = meter
         self.meter = meter
@@ -173,6 +187,79 @@ class FileMetadataServer:
         self._store_both(key, a, c)
         self.store.append(_E + dkey, dirent.pack_entry(name, uuid, FileType.FILE))
         return uuid
+
+    def op_create_batch(self, entries: tuple) -> dict:
+        """Create many files in one request (the LocoFS-B flush path).
+
+        ``entries`` is a sequence of ``(dir_uuid, name, mode, cred, now_s,
+        bsize)`` tuples — the same arguments as :meth:`op_create`.  The
+        existence probes run as one ``multi_get``, the uuid ceiling is
+        reserved once, the inode parts land in one ``multi_put``, and the
+        backward dirents are coalesced into one append per directory — the
+        group-commit amortization that makes batched creates cheap.
+
+        Name conflicts do not abort the batch: conflicting entries are
+        skipped and reported in ``"exists"``; their ``"uuids"`` slot is
+        ``None``.  (The write-behind client surfaces the first conflict as
+        :class:`Exists` at the flush boundary — see DESIGN.md.)
+        """
+        if self.track_touches:
+            self._touch("create", "access", "dirent")
+        prefix = _A if self.decoupled else _F
+        keys: list[bytes] = []
+        dkeys: list[bytes] = []
+        probe_keys: list[bytes] = []
+        for e in entries:
+            dkey = e[0].to_bytes(8, "big")
+            key = dkey + e[1].encode("utf-8")
+            dkeys.append(dkey)
+            keys.append(key)
+            probe_keys.append(prefix + key)
+        probes = self.store.multi_get(probe_keys)
+        fresh: list[tuple[tuple, bytes, bytes, int]] = []  # (entry, key, dkey, slot)
+        uuids: list[int | None] = [None] * len(entries)
+        exists: list[str] = []
+        seen: set[bytes] = set()
+        for i, (entry, probe) in enumerate(zip(entries, probes)):
+            key = keys[i]
+            if probe is not None or key in seen:
+                exists.append(entry[1])
+            else:
+                seen.add(key)
+                fresh.append((entry, key, dkeys[i], i))
+        if not fresh:
+            return {"uuids": uuids, "exists": exists}
+        new_uuids = self._allocate_uuids(len(fresh))
+        self.counters.inc("files.created", len(fresh))
+        self.counters.inc("batch.creates", len(fresh))
+        pairs: list[tuple[bytes, bytes]] = []
+        dirents: dict[bytes, list[bytes]] = {}
+        pack_a = FILE_ACCESS.pack_values
+        pack_c = FILE_CONTENT.pack_values
+        sid = self.sid
+        for (entry, key, dkey, slot), uuid in zip(fresh, new_uuids):
+            dir_uuid, name, mode, cred, now_s, bsize = entry
+            uuids[slot] = uuid
+            fmode = S_IFREG | (mode & 0o7777)
+            a = pack_a(now_s, fmode, cred.uid, cred.gid)
+            c = pack_c(now_s, now_s, 0, bsize, uuid, sid)
+            if self.decoupled:
+                pairs.append((_A + key, a))
+                pairs.append((_C + key, c))
+            else:
+                af = FILE_ACCESS.unpack(a)
+                cf = FILE_CONTENT.unpack(c)
+                buf = FILE_COUPLED.pack(index_blob=b"", **af, **cf)
+                self.meter.charge_us(self.cost.serialize_us(len(buf)), "serialize")
+                pairs.append((_F + key, buf))
+            ents = dirents.get(dkey)
+            if ents is None:
+                dirents[dkey] = ents = []
+            ents.append(dirent.pack_entry(name, uuid, FileType.FILE))
+        self.store.multi_put(pairs)
+        for dkey, packed in dirents.items():
+            self.store.append(_E + dkey, b"".join(packed))
+        return {"uuids": uuids, "exists": exists}
 
     def op_getattr(self, dir_uuid: int, name: str) -> dict:
         """stat on a file reads both parts (Table 1: getattr touches all)."""

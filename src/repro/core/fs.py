@@ -24,7 +24,7 @@ from repro.sim.cluster import Cluster
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import DirectEngine, EventEngine
 
-from .client import LocoClient
+from .client import BatchingLocoClient, LocoClient
 from .dms import DirectoryMetadataServer
 from .fms import FileMetadataServer
 from .objectstore import BlockPlacement, ObjectStoreServer
@@ -97,9 +97,12 @@ class LocoFS:
             raise ValueError(f"unknown engine kind: {engine_kind!r}")
 
     def client(self, cred: Credentials = ROOT_CRED, engine=None) -> LocoClient:
-        """A new logical client (with its own directory cache)."""
-        return LocoClient(
-            engine if engine is not None else self.engine,
+        """A new logical client (with its own directory cache).
+
+        With ``config.batch.enabled`` the client is a
+        :class:`BatchingLocoClient` — the write-behind LocoFS-B variant.
+        """
+        kwargs = dict(
             fms_names=self.fms_names,
             placement=self.placement,
             cred=cred,
@@ -109,6 +112,10 @@ class LocoFS:
             block_size=self.config.block_size,
             strict_collisions=self.config.strict_collisions,
         )
+        engine = engine if engine is not None else self.engine
+        if self.config.batch.enabled:
+            return BatchingLocoClient(engine, batch=self.config.batch, **kwargs)
+        return LocoClient(engine, **kwargs)
 
     # -- observability --------------------------------------------------------------
     def attach_observability(self, tracer=None, metrics=None) -> None:

@@ -17,6 +17,7 @@ from . import (
     fig12_fullsystem,
     fig13_depth,
     fig14_rename,
+    fig15_batching,
     table1_access_matrix,
     table3_clients,
 )
@@ -34,6 +35,7 @@ REGISTRY = {
     "fig12": fig12_fullsystem,
     "fig13": fig13_depth,
     "fig14": fig14_rename,
+    "fig15": fig15_batching,
     "table1": table1_access_matrix,
     "table3": table3_clients,
 }

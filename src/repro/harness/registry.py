@@ -6,6 +6,8 @@ Names follow the paper's figure legends:
   cache (§4 legend: LocoFS-C / LocoFS-NC)
 * ``locofs-cf`` / ``locofs-df`` — coupled vs decoupled file metadata
   (Fig. 11; ``locofs-c`` is ``locofs-df``)
+* ``locofs-b`` — write-behind batched metadata RPCs on top of
+  ``locofs-c`` (beyond the paper; Fig. 15)
 * ``lustre-d1`` / ``lustre-d2`` — Lustre DNE1 / DNE2
 * ``cephfs``, ``gluster``, ``indexfs``, ``rawkv``
 """
@@ -19,7 +21,7 @@ from repro.baselines import (
     LustreSystem,
     RawKVSystem,
 )
-from repro.common.config import CacheConfig, ClusterConfig
+from repro.common.config import BatchConfig, CacheConfig, ClusterConfig
 from repro.core.fs import LocoFS
 from repro.sim.costmodel import CostModel
 
@@ -28,6 +30,7 @@ SYSTEM_NAMES = [
     "locofs-nc",
     "locofs-cf",
     "locofs-df",
+    "locofs-b",
     "cephfs",
     "gluster",
     "lustre-d1",
@@ -42,6 +45,7 @@ LABELS = {
     "locofs-nc": "LocoFS-NC",
     "locofs-cf": "LocoFS-CF",
     "locofs-df": "LocoFS-DF",
+    "locofs-b": "LocoFS-B",
     "cephfs": "CephFS",
     "gluster": "Gluster",
     "lustre-d1": "Lustre D1",
@@ -62,6 +66,13 @@ def make_system(
     if name in ("locofs-c", "locofs-df"):
         return LocoFS(
             ClusterConfig(num_metadata_servers=num_servers),
+            cost=cost, engine_kind=engine_kind,
+        )
+    if name == "locofs-b":
+        # write-behind batching on top of locofs-c (beyond-the-paper variant)
+        return LocoFS(
+            ClusterConfig(num_metadata_servers=num_servers,
+                          batch=BatchConfig(enabled=True)),
             cost=cost, engine_kind=engine_kind,
         )
     if name == "locofs-nc":

@@ -35,6 +35,18 @@ class ThroughputResult:
     server_utilization: dict[str, float]
 
 
+def _drain_writebehind(client):
+    """Flush a write-behind client's queues; no-op for everything else.
+
+    Both waves end with this so pending batched creates are durable (and
+    counted) before the wave's clock stops — the drain runs *inside* the
+    measured generator, so its round trips are part of measured time.
+    """
+    gflush = getattr(client, "_g_flush", None)
+    if gflush is not None:
+        yield from gflush()
+
+
 def _setup_gen(client, wl: Workload, cid: int, op: str):
     """Unmeasured preparation for one client."""
     for path in wl.dir_chain(cid):
@@ -46,6 +58,7 @@ def _setup_gen(client, wl: Workload, cid: int, op: str):
     elif op in ("dir-stat", "rmdir"):
         for n in range(wl.items_per_client):
             yield from client.op_generator("mkdir", wl.dir_path(cid, n))
+    yield from _drain_writebehind(client)
 
 
 def _measured_gen(client, wl: Workload, cid: int, op: str, cost: CostModel, box: dict):
@@ -55,6 +68,7 @@ def _measured_gen(client, wl: Workload, cid: int, op: str, cost: CostModel, box:
         yield overhead
         yield from client.op_generator(*_op_call(op, wl, cid, n))
         box["ops"] += 1
+    yield from _drain_writebehind(client)
 
 
 def _rawkv_setup(client, wl: Workload, cid: int, op: str):
@@ -85,6 +99,7 @@ def run_throughput(
     client_scale: float = 1.0,
     tracer=None,
     metrics=None,
+    system_factory=None,
 ) -> ThroughputResult:
     """One throughput cell: (system, op, #servers) -> aggregate IOPS.
 
@@ -92,6 +107,10 @@ def run_throughput(
     event engine also samples per-server queue depth and busy-fraction
     over virtual time, and final utilization lands in ``<server>
     .utilization`` gauges.
+
+    ``system_factory`` overrides system construction (it must return an
+    event-engine deployment); ``system_name`` then only labels the result
+    — fig15 uses this to sweep non-default batch budgets.
     """
     from repro.obs import get_default_registry
 
@@ -100,7 +119,10 @@ def run_throughput(
         metrics = get_default_registry()
     if num_clients is None:
         num_clients = clients_for(system_name, num_servers, scale=client_scale)
-    system = make_system(system_name, num_servers, cost=cost, engine_kind="event")
+    if system_factory is not None:
+        system = system_factory()
+    else:
+        system = make_system(system_name, num_servers, cost=cost, engine_kind="event")
     engine = system.engine
     if tracer is not None or metrics is not None:
         engine.attach_observability(tracer=tracer, metrics=metrics)

@@ -5,9 +5,9 @@ that the paper's metadata servers sit on, written from scratch so that the
 metadata organization can be exercised end-to-end.
 """
 
-from .api import KVStore
+from .api import KVStore, prefix_upper_bound
 from .bloom import BloomFilter
-from .btree import BTreeStore, prefix_upper_bound
+from .btree import BTreeStore
 from .hashdb import HashStore
 from .lsm import LSMStore
 from .memtable import SkipListMemtable

@@ -9,9 +9,27 @@ full-scan), which is exactly the contrast Fig. 14 of the paper measures.
 from __future__ import annotations
 
 import abc
+import contextlib
 from collections.abc import Iterator
 
 from .meter import Meter, NullMeter
+
+
+def prefix_upper_bound(prefix: bytes) -> bytes | None:
+    """Smallest byte string greater than every string with ``prefix``.
+
+    Returns ``None`` when no such bound exists — an all-``0xff`` prefix is
+    a prefix of arbitrarily long all-``0xff`` keys, so any fixed cap would
+    wrongly exclude keys longer than the cap.  Callers treat ``None`` as
+    "scan to the end of the keyspace".
+    """
+    p = bytearray(prefix)
+    while p:
+        if p[-1] != 0xFF:
+            p[-1] += 1
+            return bytes(p)
+        p.pop()
+    return None
 
 
 class KVStore(abc.ABC):
@@ -55,6 +73,50 @@ class KVStore(abc.ABC):
     def contains(self, key: bytes) -> bool:
         return self.get(key) is not None
 
+    # -- batched point ops -----------------------------------------------------
+    # The concrete stores override these with amortized metering (the first
+    # record pays the op-kind base cost, every further record only the
+    # ``batch_record`` marginal cost) and, where a WAL is attached, a group
+    # commit: one log write and at most one fsync for the whole batch.
+    # These defaults just preserve the contract for custom stores.
+    def _charge_batch(self, op: str, nbytes: int, count: int) -> None:
+        """Amortized metering for one batched op: the batch pays the
+        op-kind base cost once (plus all its bytes), then ``batch_record``
+        for each record beyond the first — so a batch of one costs exactly
+        the same as the single-record op."""
+        if count == 0:
+            return
+        self._charge(op, nbytes)
+        if count > 1:
+            self._meter.charge_repeat("batch_record", count - 1)
+
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        """Point-look-up every key; returns values aligned with ``keys``."""
+        return [self.get(k) for k in keys]
+
+    def multi_put(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        """Insert/overwrite every pair as one batch."""
+        for k, v in pairs:
+            self.put(k, v)
+
+    @contextlib.contextmanager
+    def group(self):
+        """Group-commit scope: WAL appends inside it share one write+fsync.
+
+        No-op for stores without a WAL.  Re-entrant — the engines wrap a
+        whole batched RPC in one scope while ``multi_put`` may open its
+        own inner group.
+        """
+        wal = getattr(self, "_wal", None)
+        if wal is None:
+            yield
+            return
+        wal.begin_group()
+        try:
+            yield
+        finally:
+            wal.end_group()
+
     # -- in-place helpers ----------------------------------------------------
     def append(self, key: bytes, value: bytes) -> None:
         """Append ``value`` to the existing value (Kyoto Cabinet's append).
@@ -94,8 +156,12 @@ class KVStore(abc.ABC):
         for k, _ in self.items():
             yield k
 
-    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes]]:
-        """Iterate entries with start <= key < end (ordered stores only)."""
+    def scan(self, start: bytes, end: bytes | None) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate entries with start <= key < end (ordered stores only).
+
+        ``end=None`` means unbounded: scan to the end of the keyspace
+        (the :func:`prefix_upper_bound` "no upper bound" sentinel).
+        """
         raise NotImplementedError(f"{type(self).__name__} does not support ordered scans")
 
     def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:

@@ -19,21 +19,13 @@ from __future__ import annotations
 import os
 from collections.abc import Iterator
 
-from .api import KVStore
+from .api import KVStore, prefix_upper_bound
 from .meter import Meter
-from .wal import OP_DELETE, OP_PUT, WriteAheadLog
+from .wal import OP_PUT, OP_DELETE, WriteAheadLog
+
+__all__ = ["BTreeStore", "prefix_upper_bound"]
 
 BRANCH = 64  # max children of an internal node / max entries of a leaf
-
-
-def prefix_upper_bound(prefix: bytes) -> bytes:
-    p = bytearray(prefix)
-    while p:
-        if p[-1] != 0xFF:
-            p[-1] += 1
-            return bytes(p)
-        p.pop()
-    return b"\xff" * 64
 
 
 class _Leaf:
@@ -184,6 +176,36 @@ class BTreeStore(KVStore):
     def __len__(self) -> int:
         return self._count
 
+    # -- batched point ops --------------------------------------------------------
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        import bisect
+
+        out: list[bytes | None] = []
+        nbytes = 0
+        for key in keys:
+            leaf = self._find_leaf(key)
+            i = bisect.bisect_left(leaf.keys, key)
+            if i < len(leaf.keys) and leaf.keys[i] == key:
+                value = leaf.values[i]
+                nbytes += len(key) + len(value)
+                out.append(value)
+            else:
+                nbytes += len(key)
+                out.append(None)
+        self._charge_batch("multi_get", nbytes, len(keys))
+        return out
+
+    def multi_put(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        if not pairs:
+            return
+        if self._wal is not None:
+            self._wal.append_many((OP_PUT, k, v) for k, v in pairs)
+        nbytes = 0
+        for k, v in pairs:
+            nbytes += len(k) + len(v)
+            self._insert(k, v)
+        self._charge_batch("multi_put", nbytes, len(pairs))
+
     # -- iteration ---------------------------------------------------------------
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         leaf: _Leaf | None = self._leftmost_leaf()
@@ -193,7 +215,8 @@ class BTreeStore(KVStore):
                 yield k, v
             leaf = leaf.next
 
-    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes]]:
+    def scan(self, start: bytes, end: bytes | None) -> Iterator[tuple[bytes, bytes]]:
+        """start <= key < end; ``end=None`` scans to the end of the keyspace."""
         import bisect
 
         self.meter.charge("seek", len(start))
@@ -204,7 +227,7 @@ class BTreeStore(KVStore):
             keys = list(leaf.keys)
             values = list(leaf.values)
             while i < len(keys):
-                if keys[i] >= end:
+                if end is not None and keys[i] >= end:
                     return
                 self.meter.charge("scan_record", len(keys[i]) + len(values[i]))
                 yield keys[i], values[i]

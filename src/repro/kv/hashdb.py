@@ -51,6 +51,30 @@ class HashStore(KVStore):
     def __len__(self) -> int:
         return len(self._data)
 
+    # -- batched point ops ---------------------------------------------------------
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        data = self._data
+        out: list[bytes | None] = []
+        nbytes = 0
+        for key in keys:
+            value = data.get(key)
+            nbytes += len(key) + (len(value) if value is not None else 0)
+            out.append(value)
+        self._charge_batch("multi_get", nbytes, len(keys))
+        return out
+
+    def multi_put(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        if not pairs:
+            return
+        if self._wal is not None:
+            self._wal.append_many((OP_PUT, k, v) for k, v in pairs)
+        data = self._data
+        nbytes = 0
+        for k, v in pairs:
+            nbytes += len(k) + len(v)
+            data[k] = v
+        self._charge_batch("multi_put", nbytes, len(pairs))
+
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         for k, v in list(self._data.items()):
             self.meter.charge("scan_record", len(k) + len(v))

@@ -18,22 +18,13 @@ import os
 import tempfile
 from collections.abc import Iterator
 
-from .api import KVStore
+from .api import KVStore, prefix_upper_bound
 from .memtable import SkipListMemtable
 from .meter import Meter
 from .sstable import SSTable, SSTableBuilder
 from .wal import OP_DELETE, OP_PUT, WriteAheadLog
 
-
-def prefix_upper_bound(prefix: bytes) -> bytes:
-    """Smallest byte string greater than every string with ``prefix``."""
-    p = bytearray(prefix)
-    while p:
-        if p[-1] != 0xFF:
-            p[-1] += 1
-            return bytes(p)
-        p.pop()
-    return b"\xff" * 64  # prefix was all 0xff: effectively unbounded
+__all__ = ["LSMStore", "prefix_upper_bound"]
 
 
 class LSMStore(KVStore):
@@ -138,6 +129,30 @@ class LSMStore(KVStore):
         """Count of live keys.  O(n) — intended for tests and reporting."""
         return sum(1 for _ in self.items())
 
+    # -- batched point ops ---------------------------------------------------------
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        out: list[bytes | None] = []
+        nbytes = 0
+        for key in keys:
+            value = self._get_impl(key)
+            nbytes += len(key) + (len(value) if value is not None else 0)
+            out.append(value)
+        self._charge_batch("multi_get", nbytes, len(keys))
+        return out
+
+    def multi_put(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        if not pairs:
+            return
+        if self._wal is not None:
+            self._wal.append_many((OP_PUT, k, v) for k, v in pairs)
+        nbytes = 0
+        for k, v in pairs:
+            nbytes += len(k) + len(v)
+            self._mem.put(k, v)
+        self._charge_batch("multi_put", nbytes, len(pairs))
+        if self._mem.approx_bytes >= self.memtable_limit:
+            self.flush()
+
     # -- iteration ------------------------------------------------------------------
     def _merged(self, start: bytes | None, end: bytes | None) -> Iterator[tuple[bytes, bytes | None]]:
         """Merge memtable + all tables, newest version wins, keys ordered."""
@@ -179,9 +194,15 @@ class LSMStore(KVStore):
                 self.meter.charge("scan_record", len(k) + len(v))
                 yield k, v
 
-    def scan(self, start: bytes, end: bytes) -> Iterator[tuple[bytes, bytes]]:
+    def scan(self, start: bytes, end: bytes | None) -> Iterator[tuple[bytes, bytes]]:
+        """start <= key < end; ``end=None`` scans to the end of the keyspace."""
         self.meter.charge("seek", len(start))
-        for k, v in self._merged(start, end):
+        if end is None:
+            # unbounded upper end: merge everything and fast-forward to start
+            source = (kv for kv in self._merged(None, None) if kv[0] >= start)
+        else:
+            source = self._merged(start, end)
+        for k, v in source:
             if v is not None:
                 self.meter.charge("scan_record", len(k) + len(v))
                 yield k, v

@@ -69,6 +69,33 @@ class Meter:
         if self._registry is not None:
             self._registry.counter(self._prefix + op).inc()
 
+    def charge_repeat(self, op: str, n: int) -> None:
+        """Exactly ``n`` zero-byte charges of ``op`` in one call.
+
+        Bit-identical to calling :meth:`charge` ``n`` times (the cost is
+        re-added per record, in the same order), but pays the Python call
+        overhead once — the batched multi-op path charges ``batch_record``
+        per additional record through this.
+        """
+        if n <= 0:
+            return
+        try:
+            self.op_counts[op] += n
+        except KeyError:
+            self.op_counts[op] = n
+        if op not in self.byte_counts:
+            self.byte_counts[op] = 0
+        policy = self.policy
+        if policy is not None:
+            cost = policy.cost_us(op, 0)
+            trace = self.trace
+            for _ in range(n):
+                self.total_us += cost
+                if trace is not None:
+                    trace.kv(op, 0, cost)
+        if self._registry is not None:
+            self._registry.counter(self._prefix + op).inc(n)
+
     def charge_us(self, us: float, op: str = "explicit") -> None:
         """Charge an explicit amount of virtual time (e.g. serialization)."""
         self.op_counts[op] = self.op_counts.get(op, 0) + 1

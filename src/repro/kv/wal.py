@@ -43,6 +43,9 @@ class WriteAheadLog:
         self.path = path
         self.sync = sync
         self._fh = open(path, "ab")
+        #: buffered records while a group commit is open (None = no group)
+        self._group: list[bytes] | None = None
+        self._group_depth = 0
 
     def append_put(self, key: bytes, value: bytes) -> None:
         self._append(encode_record(OP_PUT, key, value))
@@ -50,8 +53,42 @@ class WriteAheadLog:
     def append_delete(self, key: bytes) -> None:
         self._append(encode_record(OP_DELETE, key))
 
+    def append_many(self, records) -> None:
+        """Group-commit a batch: one write (and at most one fsync) for all
+        of ``records``, an iterable of ``(op, key, value)`` tuples."""
+        buf = b"".join(encode_record(op, key, value) for op, key, value in records)
+        if buf:
+            self._append(buf)
+
     def _append(self, record: bytes) -> None:
+        if self._group is not None:
+            self._group.append(record)
+            return
         self._fh.write(record)
+        if self.sync:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    # -- group commit ----------------------------------------------------------
+    def begin_group(self) -> None:
+        """Start buffering appends; the matching ``end_group`` writes them
+        as one unit.  One fsync then covers every record appended inside
+        the group — the durability amortization behind the batched RPC
+        path.  Groups nest: only the outermost ``end_group`` flushes.
+        """
+        if self._group is None:
+            self._group = []
+        self._group_depth += 1
+
+    def end_group(self) -> None:
+        if self._group_depth > 1:
+            self._group_depth -= 1
+            return
+        group, self._group = self._group, None
+        self._group_depth = 0
+        if not group:
+            return
+        self._fh.write(b"".join(group))
         if self.sync:
             self._fh.flush()
             os.fsync(self._fh.fileno())

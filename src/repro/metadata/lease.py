@@ -51,6 +51,26 @@ class LeaseCache(Generic[V]):
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def renew(self, key: str, now_us: float) -> bool:
+        """Extend a live entry's lease without hit/miss accounting.
+
+        Used for piggybacked renewals: a batched metadata RPC that writes
+        under a cached directory implicitly refreshes that directory's
+        lease (LocoFS-B), so the renewal is free — it must not show up as
+        a cache hit in the stats the experiments report.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        stored_at, value = entry
+        if now_us - stored_at >= self.lease_us:
+            del self._entries[key]
+            self.expirations += 1
+            return False
+        self._entries[key] = (now_us, value)
+        self._entries.move_to_end(key)
+        return True
+
     def invalidate(self, key: str) -> None:
         self._entries.pop(key, None)
 

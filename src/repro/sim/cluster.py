@@ -32,6 +32,10 @@ class ServerNode:
         self._ops: dict = {
             n[3:]: getattr(handler, n) for n in dir(handler) if n.startswith("op_")
         }
+        #: optional group-commit scope (context-manager factory): the
+        #: engines wrap a whole batched RPC in it so one WAL fsync covers
+        #: every sub-operation
+        self.group_commit = getattr(handler, "group_commit", None)
 
     def dispatch(self, method: str, args: tuple, kwargs: dict):
         fn = self._ops.get(method)

@@ -84,6 +84,14 @@ class CostModel:
     kv_seek_us: float = 4.0
     kv_scan_record_us: float = 0.35
     kv_per_byte_us: float = 0.004  # compare/memcpy per byte of key+value
+    #: marginal cost of one extra record inside a ``multi_get``/``multi_put``
+    #: batch.  LevelDB's WriteBatch amortizes the fixed per-op work (WAL
+    #: framing, fsync scheduling, version bump) across the batch — group
+    #: commit leaves roughly the memtable insert per record, ~1/6 of a
+    #: standalone put (LevelDB db_bench: batched sequential writes vs
+    #: single-record writes).  The first record of a batch pays the full
+    #: base cost of the op kind; each additional record pays this.
+    kv_batch_record_us: float = 0.4
 
     # --- (de)serialization (paper §2.2.2 and §3.3.3) ---------------------------
     #: per-byte protobuf-like encode/decode cost charged when a system
@@ -124,6 +132,11 @@ class CostModel:
             "flush": 0.0,  # background work, amortized into put cost
             "compaction": 0.0,
             "explicit": 0.0,
+            # batched point ops: the first record pays the op-kind base
+            # cost, every further record pays batch_record (group commit)
+            "multi_get": self.kv_get_us,
+            "multi_put": self.kv_put_us,
+            "batch_record": self.kv_batch_record_us,
         }
 
     def kv_cost_us(self, op: str, nbytes: int) -> float:

@@ -46,12 +46,14 @@ from repro.obs.tracer import KVTraceSink
 from .cluster import Cluster, ServerNode
 from .costmodel import CostModel
 from .rpc import (
+    TAG_BATCH,
     TAG_DELAY,
     TAG_MARK,
     TAG_PARALLEL,
     TAG_RPC,
     TAG_SPAN_BEGIN,
     TAG_SPAN_END,
+    Batch,
     LocalCharge,
     Mark,
     Parallel,
@@ -63,6 +65,7 @@ from .rpc import (
 from .simulator import Simulator
 
 __all__ = [
+    "Batch",
     "DirectEngine",
     "EventEngine",
     "LocalCharge",
@@ -152,6 +155,66 @@ class _ObservableEngine:
         parent = state.spans[-1][0] if state.spans else None
         return self.tracer.begin(f"rpc.{rpc.method}", "rpc", self.now,
                                  state.track, parent, {"server": rpc.server})
+
+    # -- batched RPC execution (shared by both engines) ---------------------------
+    def _exec_batch(self, node: ServerNode, batch: Batch):
+        """Dispatch every sub-op of a batch in order under one group-commit
+        scope.  Returns ``(results, first_err)`` — a failing sub-op yields
+        ``None`` in its slot and the first error is reported after the
+        whole batch ran (Parallel semantics)."""
+        results = []
+        first_err: FSError | None = None
+        gc = node.group_commit
+        ctx = gc() if gc is not None else None
+        if ctx is not None:
+            ctx.__enter__()
+        try:
+            ops = node._ops
+            for rpc in batch.rpcs:
+                try:
+                    fn = ops.get(rpc.method)
+                    if fn is None:
+                        result = node.dispatch(rpc.method, rpc.args, rpc.kwargs)
+                    elif rpc.kwargs:
+                        result = fn(*rpc.args, **rpc.kwargs)
+                    else:
+                        result = fn(*rpc.args)
+                except FSError as e:
+                    result = None
+                    if first_err is None:
+                        first_err = e
+                results.append(result)
+        finally:
+            if ctx is not None:
+                ctx.__exit__(None, None, None)
+        return results, first_err
+
+    def _batch_span(self, state: _ClientState, batch: Batch):
+        """Open the client-side span of one batched round trip."""
+        parent = state.spans[-1][0] if state.spans else None
+        return self.tracer.begin(f"rpc.batch[{len(batch.rpcs)}]", "rpc", self.now,
+                                 state.track, parent, {"server": batch.server})
+
+    def _record_batch(self, batch: Batch, span, arrive: float, start: float,
+                      service: float) -> None:
+        """Server-side queue/serve phases and batch-shape metrics."""
+        n = len(batch.rpcs)
+        server = batch.server
+        if self.tracer is not None:
+            if start > arrive:
+                self.tracer.complete("queue", "queue", arrive, start, server, span)
+            self.tracer.complete(f"serve.batch[{n}]", "serve", start,
+                                 start + service, server, span)
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter(f"{server}.requests").inc()
+            m.counter(f"{server}.batches").inc()
+            m.counter(f"{server}.batched_ops").inc(n)
+            m.histogram(f"{server}.batch_size").record(n)
+            for rpc in batch.rpcs:
+                m.counter(f"{server}.op.{rpc.method}").inc()
+            m.histogram(f"{server}.queue_wait_us").record(start - arrive)
+            m.histogram(f"{server}.service_us").record(service)
 
     def _record_service(self, rpc: Rpc, rpc_span, arrive: float, start: float,
                         service: float) -> None:
@@ -251,6 +314,11 @@ class DirectEngine(_ObservableEngine):
                 self._span_end(self._client)
             elif tag == TAG_MARK:
                 self._mark(self._client, cmd)
+            elif tag == TAG_BATCH:
+                try:
+                    send_value = self._do_batch(cmd)
+                except FSError as e:
+                    exc = e
             else:
                 raise TypeError(f"unknown engine command: {cmd!r}")
 
@@ -306,6 +374,61 @@ class DirectEngine(_ObservableEngine):
             if rpc_span is not None:
                 self.tracer.end(rpc_span, self.now)
         return result
+
+    def _do_batch(self, batch: Batch):
+        """One round trip carrying every sub-op of the batch.
+
+        Wire model mirrors ``_do_rpc``: one optional connection switch, the
+        summed request payloads on the uplink, one half-RTT out, a single
+        FIFO queue entry at the server, then the summed response payloads
+        and one half-RTT back.  Service time is the metered cost of all
+        sub-ops plus a single ``server_overhead_us`` — the per-request
+        parse/dispatch work is what batching amortizes.
+        """
+        cost = self.cost
+        node = self._nodes[batch.server]
+        client = self._client
+        if client.last_server is not None and client.last_server != batch.server:
+            self.now += cost.conn_switch_us
+        client.last_server = batch.server
+        client.rpcs_issued += 1
+        span = None
+        if self.tracer is not None:
+            span = self._batch_span(client, batch)
+        send_bytes = 0
+        for rpc in batch.rpcs:
+            send_bytes += rpc.send_bytes
+        if send_bytes:
+            self.now += cost.transfer_us(send_bytes)
+        self.now += self._half_rtt
+        arrive = self.now
+        start = arrive if arrive > node.next_free else node.next_free
+        meter = node.meter
+        before = meter.total_us
+        if self.tracer is not None and meter.policy is not None:
+            meter.trace = KVTraceSink(self.tracer, batch.server, span, start)
+        try:
+            results, first_err = self._exec_batch(node, batch)
+        finally:
+            meter.trace = None
+        service = meter.total_us - before + cost.server_overhead_us
+        node.requests_served += 1
+        node.busy_us += service
+        node.next_free = start + service
+        self.now = start + service
+        if self.tracer is not None or self.metrics is not None:
+            self._record_batch(batch, span, arrive, start, service)
+        recv_bytes = 0
+        for rpc, result in zip(batch.rpcs, results):
+            recv_bytes += _response_bytes(rpc, result)
+        if recv_bytes:
+            self.now += cost.transfer_us(recv_bytes)
+        self.now += self._half_rtt
+        if span is not None:
+            self.tracer.end(span, self.now)
+        if first_err is not None:
+            raise first_err
+        return results
 
     def reset_clock(self) -> None:
         self.now = 0.0
@@ -411,6 +534,8 @@ class EventEngine(_ObservableEngine):
         elif tag == TAG_MARK:
             self._mark(state, cmd)
             self._step(gen, state, on_done, None, None)
+        elif tag == TAG_BATCH:
+            self._issue_batch(gen, state, on_done, cmd)
         else:
             raise TypeError(f"unknown engine command: {cmd!r}")
 
@@ -487,6 +612,69 @@ class EventEngine(_ObservableEngine):
         else:
             pending, idx = group
             sim.at(respond_at, self._join, gen, state, on_done, pending, idx, result, err)
+
+    def _issue_batch(self, gen, state, on_done, batch: Batch) -> None:
+        """Send one batched round trip: like ``_issue`` for a single RPC,
+        with the sub-ops' request payloads summed on the uplink."""
+        cost = self.cost
+        delay = 0.0
+        send_bytes = 0
+        for rpc in batch.rpcs:
+            send_bytes += rpc.send_bytes
+        if send_bytes:
+            delay = cost.transfer_us(send_bytes)
+        if state.last_server is not None and state.last_server != batch.server:
+            delay += cost.conn_switch_us
+        state.last_server = batch.server
+        state.rpcs_issued += 1
+        span = None
+        if self.tracer is not None:
+            span = self._batch_span(state, batch)
+        sim = self.sim
+        sim.at(sim.now + delay + self._half_rtt, self._deliver_batch, gen, state,
+               on_done, batch, span)
+
+    def _deliver_batch(self, gen, state, on_done, batch: Batch, span) -> None:
+        """Server-side half of a batched round trip: one FIFO queue entry,
+        every sub-op served back-to-back under one group-commit scope."""
+        cost = self.cost
+        sim = self.sim
+        node: ServerNode = self._nodes[batch.server]
+        arrive = sim.now
+        start = arrive if arrive > node.next_free else node.next_free
+        meter = node.meter
+        before = meter.total_us
+        tracer = self.tracer
+        if tracer is not None and meter.policy is not None:
+            meter.trace = KVTraceSink(tracer, batch.server, span, start)
+        try:
+            results, first_err = self._exec_batch(node, batch)
+        finally:
+            meter.trace = None
+        service = meter.total_us - before + cost.server_overhead_us
+        finish = start + service
+        node.next_free = finish
+        node.requests_served += 1
+        node.busy_us += service
+        if self.tracer is not None or self.metrics is not None:
+            self._record_batch(batch, span, arrive, start, service)
+            if self.metrics is not None:
+                self._sample_server(batch.server, node, arrive, finish)
+        reach_client = finish + self._half_rtt
+        recv_bytes = 0
+        for rpc, result in zip(batch.rpcs, results):
+            recv_bytes += _response_bytes(rpc, result)
+        respond_at = reach_client if reach_client > state.downlink_free \
+            else state.downlink_free
+        if recv_bytes:
+            respond_at += cost.transfer_us(recv_bytes)
+        state.downlink_free = respond_at
+        if span is not None:
+            self.tracer.end(span, respond_at)
+        if first_err is not None:
+            sim.at(respond_at, self._step, gen, state, on_done, None, first_err)
+        else:
+            sim.at(respond_at, self._step, gen, state, on_done, results, None)
 
     def _sample_server(self, name: str, node: ServerNode, arrive: float,
                        finish: float) -> None:

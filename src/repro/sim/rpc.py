@@ -27,6 +27,7 @@ TAG_DELAY = 2  # Sleep and LocalCharge: advance time, nothing else
 TAG_SPAN_BEGIN = 3
 TAG_SPAN_END = 4
 TAG_MARK = 5
+TAG_BATCH = 6
 
 #: shared default for Rpc.kwargs — never mutate (handlers receive a copy
 #: via ``**kwargs`` unpacking, so sharing one empty dict is safe)
@@ -59,6 +60,32 @@ class Rpc:
         return (f"Rpc({self.server!r}, {self.method!r}, {self.args!r}, "
                 f"{self.kwargs!r}, send_bytes={self.send_bytes}, "
                 f"recv_bytes={self.recv_bytes})")
+
+
+class Batch:
+    """N sub-operations to *one* server in a single round trip.
+
+    The write-behind client (LocoFS-B) coalesces adjacent small metadata
+    writes and ships them together: the batch pays one connection switch,
+    one RTT, and one queue entry at the server, while service time is the
+    sum of the sub-operations' metered KV costs (amortized via the store's
+    ``multi_*``/group-commit paths) plus a single per-request overhead.
+    Sub-operations execute in order under the server's group-commit scope;
+    a failing sub-op does not abort the rest — the first error is raised
+    in the issuing generator after the whole batch completes, mirroring
+    :class:`Parallel` semantics.  Resumes with the list of per-op results
+    (``None`` for failed entries).
+    """
+
+    __slots__ = ("server", "rpcs")
+    tag = TAG_BATCH
+
+    def __init__(self, server: str, rpcs: list[Rpc]):
+        self.server = server
+        self.rpcs = rpcs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Batch({self.server!r}, {self.rpcs!r})"
 
 
 class Parallel:

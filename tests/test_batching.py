@@ -1,0 +1,303 @@
+"""LocoFS-B write-behind batching: client queue semantics, the Batch
+command on both engines, amortized multi-op metering, and WAL group
+commit."""
+
+import os
+
+import pytest
+
+from repro.common.config import BatchConfig, ClusterConfig
+from repro.common.errors import Exists
+from repro.core.client import BatchingLocoClient
+from repro.core.fs import LocoFS
+from repro.harness import make_system, run_throughput
+from repro.kv.btree import BTreeStore
+from repro.kv.hashdb import HashStore
+from repro.kv.meter import Meter
+from repro.kv.wal import OP_PUT, WriteAheadLog
+from repro.sim.costmodel import CostModel, KVCostPolicy
+
+
+def batched_fs(engine_kind="direct", num_servers=4, **batch_kw):
+    cfg = ClusterConfig(num_metadata_servers=num_servers,
+                        batch=BatchConfig(enabled=True, **batch_kw))
+    return LocoFS(cfg, engine_kind=engine_kind)
+
+
+class TestWriteBehindQueue:
+    def test_batch_config_gates_client_class(self):
+        assert isinstance(batched_fs().client(), BatchingLocoClient)
+        plain = LocoFS(ClusterConfig(num_metadata_servers=4))
+        assert not isinstance(plain.client(), BatchingLocoClient)
+
+    def test_create_is_deferred_until_flush(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        for n in range(6):
+            assert c.create(f"/d/f{n}") is None  # uuid unknown while queued
+        assert c.pending_ops == 6
+        assert fs.total_files() == 0
+        c.flush()
+        assert c.pending_ops == 0
+        assert fs.total_files() == 6
+
+    def test_read_your_writes_stat(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/pending")
+        st = c.stat_file("/d/pending")  # barrier flushes the owning queue
+        assert st is not None
+        assert c.pending_ops == 0
+
+    def test_stat_flushes_only_the_owning_server(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        for n in range(12):
+            c.create(f"/d/f{n}")
+        before = c.pending_ops
+        c.stat_file("/d/f0")
+        after = c.pending_ops
+        assert 0 < after < before  # one FMS queue drained, others untouched
+
+    def test_readdir_flushes_pending_entries_of_that_dir(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        names = [f"f{n}" for n in range(8)]
+        for n in names:
+            c.create(f"/d/{n}")
+        assert sorted(e.name for e in c.readdir("/d")) == sorted(names)
+        assert c.pending_ops == 0
+
+    def test_unlink_sees_pending_create(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/f")
+        c.unlink("/d/f")
+        c.flush()
+        assert fs.total_files() == 0
+
+    def test_duplicate_in_pending_window_raises_client_side(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/f")
+        with pytest.raises(Exists):
+            c.create("/d/f")
+
+    def test_deferred_duplicate_surfaces_at_flush(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/f")
+        c.flush()
+        c.create("/d/f")  # queue is clean, so this defers again
+        with pytest.raises(Exists):
+            c.flush()
+
+    def test_op_budget_triggers_flush(self):
+        fs = batched_fs(num_servers=1, max_ops=3)
+        c = fs.client()
+        c.mkdir("/d")
+        depths = []
+        for n in range(9):
+            c.create(f"/d/f{n}")
+            depths.append(c.pending_ops)
+        # single FMS: the queue cycles 1, 2, flush-at-3 → 0
+        assert depths == [1, 2, 0, 1, 2, 0, 1, 2, 0]
+        assert fs.total_files() == 9
+
+    def test_byte_budget_triggers_flush(self):
+        fs = batched_fs(max_ops=1000, max_bytes=120)
+        c = fs.client()
+        c.mkdir("/d")
+        # ~50 modeled bytes per create: the third enqueue to any one FMS
+        # crosses 120 and ships the queue
+        for n in range(20):
+            c.create(f"/d/f{n}")
+        assert c.pending_ops < 20
+        c.flush()
+        assert fs.total_files() == 20
+
+    def test_age_bound_triggers_flush(self):
+        fs = batched_fs(max_ops=1000, max_age_us=1.0)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create("/d/f")
+        assert c.pending_ops == 1
+        c.mkdir("/elsewhere")  # advances the virtual clock past the bound
+        c.stat_dir("/")  # stale check fires before the stat
+        assert c.pending_ops == 0
+        assert fs.total_files() == 1
+
+    def test_namespace_identical_to_unbatched(self):
+        def build(fs):
+            c = fs.client()
+            c.mkdir("/a")
+            c.mkdir("/a/b")
+            for n in range(10):
+                c.create(f"/a/f{n}")
+                c.create(f"/a/b/g{n}")
+            if hasattr(c, "flush"):
+                c.flush()
+            return c
+
+        plain = LocoFS(ClusterConfig(num_metadata_servers=4))
+        batched = batched_fs(max_ops=4)
+        cp, cb = build(plain), build(batched)
+        for d in ("/a", "/a/b"):
+            assert sorted(e.name for e in cp.readdir(d)) == \
+                sorted(e.name for e in cb.readdir(d))
+        assert plain.total_files() == batched.total_files()
+        assert plain.total_directories() == batched.total_directories()
+
+    def test_lease_renewal_is_not_a_cache_hit(self):
+        fs = batched_fs(max_ops=2)
+        c = fs.client()
+        c.mkdir("/d")
+        hits_before = c.dcache.hits
+        c.create("/d/f0")
+        c.create("/d/f1")  # budget reached: flush piggybacks a renewal
+        # the creates' own parent resolutions may hit, but the renewal at
+        # flush time must not add an extra hit beyond them
+        assert c.dcache.hits - hits_before <= 2
+
+
+class TestBatchCommandEngines:
+    @pytest.mark.parametrize("engine_kind", ["direct", "event"])
+    def test_batched_run_builds_namespace(self, engine_kind):
+        fs = batched_fs(engine_kind=engine_kind, max_ops=8)
+        if engine_kind == "direct":
+            c = fs.client()
+            c.mkdir("/d")
+            for n in range(20):
+                c.create(f"/d/f{n}")
+            c.flush()
+            assert fs.total_files() == 20
+        else:
+            done = []
+            c = fs.client()
+
+            def gen():
+                yield from c.op_generator("mkdir", "/d")
+                for n in range(20):
+                    yield from c.op_generator("create", f"/d/f{n}")
+                yield from c._g_flush()
+
+            fs.engine.spawn(gen(), lambda v, e: done.append(e),
+                            client=fs.engine.new_client())
+            fs.engine.sim.run()
+            assert done == [None]
+            assert fs.total_files() == 20
+
+    def test_batching_beats_baseline_throughput(self):
+        kw = dict(op="touch", num_clients=16, items_per_client=12)
+        base = run_throughput("locofs-c", 2, **kw)
+        fast = run_throughput("locofs-b", 2, **kw)
+        assert fast.iops > base.iops
+        assert fast.total_ops == base.total_ops
+
+    def test_registry_builds_batching_system(self):
+        sys_ = make_system("locofs-b", num_servers=2)
+        assert isinstance(sys_.client(), BatchingLocoClient)
+
+
+class TestBatchedKVMetering:
+    def _metered(self, cls, **kw):
+        return cls(meter=Meter(KVCostPolicy(CostModel())), **kw)
+
+    @pytest.mark.parametrize("cls", [HashStore, BTreeStore])
+    def test_multi_put_of_one_costs_like_put(self, cls):
+        a, b = self._metered(cls), self._metered(cls)
+        a.put(b"k", b"v" * 50)
+        b.multi_put([(b"k", b"v" * 50)])
+        assert b.meter.total_us == pytest.approx(a.meter.total_us)
+
+    @pytest.mark.parametrize("cls", [HashStore, BTreeStore])
+    def test_multi_put_amortizes_base_cost(self, cls):
+        cost = CostModel()
+        pairs = [(f"k{i}".encode(), b"v" * 50) for i in range(8)]
+        batch = self._metered(cls)
+        batch.multi_put(pairs)
+        single = self._metered(cls)
+        for k, v in pairs:
+            single.put(k, v)
+        expected = single.meter.total_us - 7 * (cost.kv_put_us
+                                                - cost.kv_batch_record_us)
+        assert batch.meter.total_us == pytest.approx(expected)
+        assert batch.meter.total_us < single.meter.total_us
+
+    @pytest.mark.parametrize("cls", [HashStore, BTreeStore])
+    def test_multi_get_amortizes_and_aligns(self, cls):
+        store = self._metered(cls)
+        store.multi_put([(f"k{i}".encode(), f"v{i}".encode()) for i in range(4)])
+        t0 = store.meter.total_us
+        out = store.multi_get([b"k1", b"missing", b"k3"])
+        assert out == [b"v1", None, b"v3"]
+        cost = CostModel()
+        spent = store.meter.total_us - t0
+        assert spent < 3 * cost.kv_get_us + 6 * cost.kv_per_byte_us
+
+    def test_empty_batches_charge_nothing(self):
+        store = self._metered(HashStore)
+        store.multi_put([])
+        assert store.multi_get([]) == []
+        assert store.meter.total_us == 0.0
+
+
+class TestWALGroupCommit:
+    def test_group_is_one_replayable_unit(self, tmp_path):
+        p = str(tmp_path / "g.wal")
+        wal = WriteAheadLog(p)
+        wal.begin_group()
+        wal.append_put(b"a", b"1")
+        wal.append_put(b"b", b"2")
+        wal.end_group()
+        wal.close()
+        assert [(k, v) for _, k, v in WriteAheadLog.replay(p)] == \
+            [(b"a", b"1"), (b"b", b"2")]
+
+    def test_nested_groups_flush_once_at_outermost(self, tmp_path):
+        p = str(tmp_path / "n.wal")
+        wal = WriteAheadLog(p)
+        wal.begin_group()
+        wal.append_put(b"a", b"1")
+        wal.begin_group()  # e.g. multi_put inside an engine batch scope
+        wal.append_put(b"b", b"2")
+        wal.end_group()
+        assert os.path.getsize(p) == 0  # inner end does not write
+        wal.append_put(b"c", b"3")
+        wal.end_group()
+        wal.flush()
+        assert os.path.getsize(p) > 0
+        wal.close()
+        assert [k for _, k, _ in WriteAheadLog.replay(p)] == [b"a", b"b", b"c"]
+
+    def test_append_many_matches_individual_appends(self, tmp_path):
+        p1, p2 = str(tmp_path / "m1.wal"), str(tmp_path / "m2.wal")
+        records = [(OP_PUT, f"k{i}".encode(), b"v") for i in range(5)]
+        w1 = WriteAheadLog(p1)
+        w1.append_many(records)
+        w1.close()
+        w2 = WriteAheadLog(p2)
+        for _, k, v in records:
+            w2.append_put(k, v)
+        w2.close()
+        with open(p1, "rb") as f1, open(p2, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_store_group_scope_survives_crash_replay(self, tmp_path):
+        p = str(tmp_path / "s.wal")
+        store = HashStore(wal_path=p)
+        with store.group():
+            store.multi_put([(b"x", b"1"), (b"y", b"2")])
+            store.put(b"z", b"3")
+        # crash: no close(); reopen from the log alone
+        store._wal.flush()
+        recovered = HashStore(wal_path=str(tmp_path / "s.wal"))
+        assert recovered.get(b"x") == b"1"
+        assert recovered.get(b"z") == b"3"

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig12_fullsystem,
     fig13_depth,
     fig14_rename,
+    fig15_batching,
     table1_access_matrix,
 )
 from repro.experiments.common import ExperimentResult
@@ -27,7 +28,7 @@ from repro.experiments.common import ExperimentResult
 def test_registry_covers_every_figure_and_table():
     assert set(REGISTRY) == {
         "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "table1", "table3",
+        "fig13", "fig14", "fig15", "table1", "table3",
     }
     for mod in REGISTRY.values():
         assert hasattr(mod, "run")
@@ -118,6 +119,13 @@ def test_fig14_deterministic_and_wall_optin():
     assert a.rows == b.rows  # modeled seconds are bit-identical run to run
     c = fig14_rename.run(group_sizes=(100,), base_dirs=800, measure_wall=True)
     assert c.extras["wall_seconds"]["hash-hdd"][100] >= 0
+
+
+def test_fig15_smoke():
+    res = fig15_batching.run(batch_sizes=(8,), client_counts=(32,),
+                             num_servers=2, items_per_client=8,
+                             client_scale=0.25)
+    assert res.rows["LocoFS-B (b=8)"][32] > res.rows["LocoFS-C"][32]
 
 
 def test_table1_full_match():

@@ -105,9 +105,25 @@ def test_btree_scan_matches_model_range(pairs, lo, hi):
 @given(st.binary(min_size=1, max_size=16), st.binary(max_size=16))
 def test_prefix_upper_bound_property(prefix, suffix):
     ub = prefix_upper_bound(prefix)
-    assert ub > prefix
-    # every (reasonably sized) string with the prefix sorts below the bound
-    assert prefix + suffix < ub
+    if ub is None:
+        # all-0xff prefixes have no finite upper bound: any fixed cap would
+        # wrongly exclude a longer all-0xff key
+        assert prefix == b"\xff" * len(prefix)
+    else:
+        assert ub > prefix
+        # every string with the prefix sorts below the bound
+        assert prefix + suffix < ub
+
+
+def test_prefix_upper_bound_all_ff_unbounded():
+    # regression: the old fixed b"\xff" * 64 cap excluded longer keys
+    assert prefix_upper_bound(b"\xff") is None
+    assert prefix_upper_bound(b"\xff" * 80) is None
+    long_key = b"\xff" * 70 + b"tail"
+    store = BTreeStore()
+    store.put(long_key, b"v")
+    store.put(b"\x01", b"w")
+    assert dict(store.prefix_scan(b"\xff" * 65)) == {long_key: b"v"}
 
 
 @given(st.lists(st.tuples(keys, values), max_size=60), st.binary(min_size=1, max_size=4))
