@@ -160,6 +160,31 @@ BENCHMARKS = {
 }
 
 
+def run_attribution(mode: str) -> dict:
+    """A deterministic traced fig8-style pass through ``repro.obs.analyze``.
+
+    Virtual time (and therefore the whole report) is bit-identical across
+    runs of the same scale, so the output doubles as the CI drift-gate
+    baseline (see EXPERIMENTS.md on regenerating it).
+    """
+    from repro.harness.runner import run_throughput
+    from repro.obs import Tracer
+    from repro.obs.analyze import attribution_report
+
+    scale = SCALES[mode]
+    systems = {}
+    for system in ("locofs-c", "locofs-b"):
+        tracer = Tracer()
+        run_throughput(system, scale["event_servers"], op="touch",
+                       items_per_client=scale["event_items"],
+                       client_scale=0.15, tracer=tracer)
+        systems[system] = attribution_report(
+            tracer, meta={"system": system, "engine": "event", "op": "touch",
+                          "servers": scale["event_servers"],
+                          "items": scale["event_items"]})
+    return {"schema": 1, "systems": systems}
+
+
 def git_commit() -> str:
     try:
         return subprocess.check_output(
@@ -236,6 +261,9 @@ def main() -> int:
                     help="compare event_fig8 vs the latest same-mode entry in FILE")
     ap.add_argument("--max-regression", type=float, default=2.0,
                     help="fail only if slower than this factor (default 2.0)")
+    ap.add_argument("--attribution-out", default=None, metavar="FILE",
+                    help="also run a traced fig8 pass and write the "
+                         "repro.obs.analyze attribution report as JSON")
     args = ap.parse_args()
 
     mode = "quick" if args.quick else "full"
@@ -247,6 +275,12 @@ def main() -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "benchmarks": run_benchmarks(mode, args.only, repeat=max(1, args.repeat)),
     }
+
+    if args.attribution_out:
+        print(f"[bench] attribution ({mode}) ...", flush=True)
+        report = run_attribution(mode)
+        Path(args.attribution_out).write_text(json.dumps(report, indent=1) + "\n")
+        print(f"[bench] attribution report -> {args.attribution_out}")
 
     out = Path(args.out)
     doc = load_doc(out)

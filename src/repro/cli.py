@@ -8,11 +8,20 @@ Usage::
     python -m repro latency locofs-c -n 4     # ad-hoc latency run
     python -m repro throughput cephfs --op touch -n 8
     python -m repro trace locofs --out trace.json   # Perfetto trace of a run
+    python -m repro analyze locofs-c locofs-b       # latency attribution
     python -m repro fsck-demo                 # build, corrupt, detect
 
-``--metrics`` on ``run``/``latency``/``throughput`` prints a flat metrics
-dump (per-server request counts, queue-wait/service histograms, queue
-depth and utilization); ``--metrics-out FILE`` writes it as JSON.
+``--metrics`` on ``run``/``latency``/``throughput``/``trace`` prints a
+flat metrics dump (per-server request counts, queue-wait/service
+histograms, queue depth and utilization); ``--metrics-out FILE`` writes
+it as JSON.
+
+``analyze`` runs one traced workload per system and prints the per-op
+phase attribution table (see :mod:`repro.obs.analyze`); ``--json``
+writes the machine-readable report, ``--baseline``/``--max-drift`` gate
+phase-share drift against a checked-in report (CI's latency-shape
+canary), and ``--trace-out`` additionally exports the Perfetto trace
+with heat-timeline counter tracks.
 """
 
 from __future__ import annotations
@@ -179,6 +188,92 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.harness import SYSTEM_NAMES, run_latency, run_throughput
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs.analyze import (
+        attribution_report,
+        compare_attribution,
+        format_attribution,
+    )
+    from repro.obs.export import write_chrome_trace
+
+    systems = [_SYSTEM_ALIASES.get(s, s) for s in args.systems]
+    unknown = [s for s in systems if s not in SYSTEM_NAMES]
+    if unknown:
+        print(f"unknown system(s): {', '.join(unknown)}; try 'list'",
+              file=sys.stderr)
+        return 2
+    reports: dict[str, dict] = {}
+    for system in systems:
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        meta = {"system": system, "engine": args.engine,
+                "servers": args.num_servers, "items": args.items}
+        if args.engine == "event":
+            meta["op"] = args.op
+            r = run_throughput(system, args.num_servers, op=args.op,
+                               items_per_client=args.items,
+                               client_scale=args.client_scale,
+                               tracer=tracer, metrics=registry)
+            print(f"analyzed {r.total_ops} measured {args.op} ops on {system} "
+                  f"({r.num_clients} clients, {r.elapsed_us / 1e6:.3f} virtual s)")
+        else:
+            rec = run_latency(system, args.num_servers, n_items=args.items,
+                              depth=args.depth, tracer=tracer, metrics=registry)
+            total = sum(rec.count(op) for op in rec.ops())
+            print(f"analyzed {total} mdtest ops on {system} (direct engine)")
+        report = attribution_report(tracer, meta=meta, window_us=args.window_us)
+        reports[system] = report
+        print(format_attribution(report))
+        print()
+        if args.trace_out:
+            if len(systems) == 1:
+                path = args.trace_out
+            else:
+                stem, dot, ext = args.trace_out.rpartition(".")
+                path = f"{stem}.{system}.{ext}" if dot else f"{args.trace_out}.{system}"
+            n = write_chrome_trace(tracer, path, counters=report["heat"])
+            print(f"{n} trace events written to {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump({"schema": 1, "systems": reports}, f, indent=1)
+        print(f"attribution JSON written to {args.json}")
+    status = 0
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            base = json.load(f)
+        max_drift = args.max_drift / 100.0
+        findings: list[dict] = []
+        for system, report in reports.items():
+            ref = base.get("systems", {}).get(system)
+            if ref is None:
+                print(f"baseline has no entry for {system}; skipping")
+                continue
+            for fnd in compare_attribution(ref, report, max_drift):
+                findings.append({"system": system, **fnd})
+        if findings:
+            print(f"phase-share drift vs {args.baseline} "
+                  f"(threshold {args.max_drift:.1f} share points):")
+            for fnd in findings:
+                if fnd["kind"] == "share-drift":
+                    print(f"  {fnd['system']} {fnd['op']} {fnd['phase']}: "
+                          f"{fnd['baseline'] * 100:.1f}% -> "
+                          f"{fnd['current'] * 100:.1f}% "
+                          f"({fnd['delta'] * 100:+.1f} pp)")
+                else:
+                    print(f"  {fnd['system']} {fnd['op']}: {fnd['kind']}")
+            status = 0 if args.soft_fail else 1
+            if args.soft_fail:
+                print("(soft-fail: drift reported but not fatal)")
+        else:
+            print(f"attribution shape matches {args.baseline} "
+                  f"(threshold {args.max_drift:.1f} share points)")
+    return status
+
+
 def _cmd_fsck_demo(args) -> int:
     from repro.common.config import ClusterConfig
     from repro.core.fs import LocoFS
@@ -244,6 +339,33 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--op", default="touch", help="measured op for --engine event")
     add_metrics_flags(p)
 
+    p = sub.add_parser(
+        "analyze", help="per-phase latency attribution of traced runs")
+    p.add_argument("systems", nargs="+",
+                   help="system name(s) from the registry ('locofs' = locofs-c)")
+    p.add_argument("--engine", choices=("direct", "event"), default="event",
+                   help="event = contended fig8-style run (default); "
+                        "direct = mdtest latency phases")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--items", type=int, default=10)
+    p.add_argument("--depth", type=int, default=1)
+    p.add_argument("--op", default="touch", help="measured op for --engine event")
+    p.add_argument("--client-scale", type=float, default=0.15,
+                   help="Table-3 client-count scale for --engine event")
+    p.add_argument("--window-us", type=float, default=None,
+                   help="heat-timeline window (default: horizon/120)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the attribution report as JSON")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="also export the Perfetto trace (with heat counters)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="compare phase shares against a checked-in report")
+    p.add_argument("--max-drift", type=float, default=10.0, metavar="PP",
+                   help="fail on per-phase share drift beyond this many "
+                        "share points (default 10.0)")
+    p.add_argument("--soft-fail", action="store_true",
+                   help="report drift but exit 0 (CI burn-in mode)")
+
     sub.add_parser("fsck-demo", help="build a namespace, corrupt it, detect it")
 
     args = parser.parse_args(argv)
@@ -253,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         "latency": _cmd_latency,
         "throughput": _cmd_throughput,
         "trace": _cmd_trace,
+        "analyze": _cmd_analyze,
         "fsck-demo": _cmd_fsck_demo,
     }[args.command](args)
 

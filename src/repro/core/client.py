@@ -20,7 +20,7 @@ from repro.metadata import dirent as de
 from repro.metadata.acl import R_OK, W_OK, X_OK, may_access
 from repro.metadata.chash import ConsistentHashRing, file_placement_key
 from repro.metadata.lease import LeaseCache
-from repro.sim.rpc import Batch, Mark, Parallel, Rpc
+from repro.sim.rpc import Batch, Mark, Parallel, Rpc, SpanCapture
 
 from .objectstore import BlockPlacement
 
@@ -413,7 +413,7 @@ class _PendingQueue:
     """Write-behind state for one FMS: the deferred create entries plus
     the bookkeeping the flush rules need."""
 
-    __slots__ = ("entries", "dirs", "lease_paths", "nbytes", "oldest_us")
+    __slots__ = ("entries", "dirs", "lease_paths", "nbytes", "oldest_us", "origins")
 
     def __init__(self, now_us: float):
         self.entries: list[tuple] = []  # op_create argument tuples, in order
@@ -421,6 +421,7 @@ class _PendingQueue:
         self.lease_paths: set[str] = set()  # parent paths for lease piggybacking
         self.nbytes = 0  # modeled request payload so far
         self.oldest_us = now_us  # enqueue time of the oldest entry
+        self.origins: list = []  # captured op spans of the deferred creates
 
 
 #: modeled wire size of one deferred create beyond its name (fixed header:
@@ -485,7 +486,8 @@ class BatchingLocoClient(LocoClient):
             self._set_queue_gauge()
         results = yield Batch(server, [Rpc(server, "create_batch",
                                            (tuple(pend.entries),),
-                                           send_bytes=pend.nbytes)])
+                                           send_bytes=pend.nbytes)],
+                              origins=pend.origins or None)
         # writing under a cached parent piggybacks a lease renewal: the
         # server saw live traffic for the directory, no separate RPC needed
         now = self.now_us
@@ -620,6 +622,11 @@ class BatchingLocoClient(LocoClient):
         pend.nbytes += _CREATE_WIRE_BASE + len(name)
         self._dirty[key] = server
         if self._obs_active:
+            # remember this op's open span so the flush links it to the
+            # batch round trip that eventually carries the create
+            origin = yield SpanCapture()
+            if origin is not None:
+                pend.origins.append(origin)
             self._set_queue_gauge()
         if len(pend.entries) >= self.batch_max_ops or pend.nbytes >= self.batch_max_bytes:
             yield from self._g_flush_server(server, "full")

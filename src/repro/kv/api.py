@@ -115,7 +115,12 @@ class KVStore(abc.ABC):
         try:
             yield
         finally:
+            before = wal.commits
             wal.end_group()
+            if wal.commits != before:
+                # zero-cost commit marker: shows the durability boundary in
+                # traces and op counts without touching virtual time
+                self._meter.charge_us(0.0, "wal_commit")
 
     # -- in-place helpers ----------------------------------------------------
     def append(self, key: bytes, value: bytes) -> None:

@@ -46,6 +46,11 @@ class WriteAheadLog:
         #: buffered records while a group commit is open (None = no group)
         self._group: list[bytes] | None = None
         self._group_depth = 0
+        #: durable commit boundaries: physical write-outs of one or more
+        #: records — each costs exactly one fsync when ``sync`` is on
+        self.commits = 0
+        #: actual fsync calls issued (0 unless the log was opened with sync)
+        self.syncs = 0
 
     def append_put(self, key: bytes, value: bytes) -> None:
         self._append(encode_record(OP_PUT, key, value))
@@ -65,9 +70,11 @@ class WriteAheadLog:
             self._group.append(record)
             return
         self._fh.write(record)
+        self.commits += 1
         if self.sync:
             self._fh.flush()
             os.fsync(self._fh.fileno())
+            self.syncs += 1
 
     # -- group commit ----------------------------------------------------------
     def begin_group(self) -> None:
@@ -89,9 +96,11 @@ class WriteAheadLog:
         if not group:
             return
         self._fh.write(b"".join(group))
+        self.commits += 1
         if self.sync:
             self._fh.flush()
             os.fsync(self._fh.fileno())
+            self.syncs += 1
 
     def flush(self) -> None:
         self._fh.flush()

@@ -12,6 +12,13 @@ harness entry points fall back to it when no registry is passed
 explicitly.
 """
 
+from .analyze import (
+    PHASES,
+    attribution_report,
+    compare_attribution,
+    format_attribution,
+    heat_timelines,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 from .tracer import Instant, KVTraceSink, NullTracer, Span, Tracer
 
@@ -26,6 +33,11 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "PHASES",
+    "attribution_report",
+    "compare_attribution",
+    "format_attribution",
+    "heat_timelines",
     "set_default_registry",
     "get_default_registry",
 ]

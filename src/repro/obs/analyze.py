@@ -1,0 +1,373 @@
+"""Post-hoc latency attribution and causal analysis over tracer output.
+
+Answers the question the paper's latency figures hinge on — *where does
+an operation's time go?* — by decomposing every traced file-system op
+into named phases:
+
+``client``
+    time inside the op span not covered by any RPC round trip: path
+    normalization, cache lookups, permission checks, enqueue work.
+``client_queue``
+    write-behind wait: for a deferred op (one linked to a later batch
+    flush, see below) the gap between the op returning and its batch
+    round trip starting.  Zero for synchronous ops.
+``network``
+    round-trip wire time: the RPC spans minus the server-side queue and
+    service time they contain (connection switches, RTT, payload
+    transfer, downlink serialization).
+``server_queue``
+    FIFO wait at the server before service starts.
+``service``
+    server CPU outside the KV store (dispatch overhead, serialization
+    charges, request parsing).
+``kv``
+    metered key-value store work.
+
+**Batch-aware causality.**  A write-behind create (LocoFS-B) returns
+after a pure client-side enqueue, so its op span alone says nothing
+about durability.  The batching client captures its op span at enqueue
+time and the engines link it (``Tracer.link``, kind ``"batch-flush"``)
+to the ``rpc.batch[n]`` span that later carries it.  The analyzer
+follows that link: a deferred op's *latency* is enqueue-to-durable
+(op start → flush span end) and it is charged a ``1/n``-th share of the
+flush's network/queue/service/KV phases, so batching's amortization is
+visible instead of the op simply vanishing.  The flush work also appears
+in full under the op that happened to trigger the flush — that op really
+did wait for it — so phase sums across *different* op types deliberately
+double-count the flush; within one op type the attribution is causal.
+
+**Heat timelines.**  :func:`heat_timelines` turns the server-side spans
+into windowed busy-fraction and queue-pressure series per server, which
+export alongside the Perfetto trace as counter tracks.
+
+Everything here runs on virtual-time spans, so reports are bit-identical
+across runs of the same workload — which is what lets CI diff a report
+against a checked-in baseline (:func:`compare_attribution`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.common.stats import _percentile
+
+from .tracer import Span, Tracer
+
+#: the phase taxonomy, in presentation order (see module docstring)
+PHASES = ("client", "client_queue", "network", "server_queue", "service", "kv")
+
+#: link kind from a deferred op span to the batch flush span that carried it
+LINK_BATCH_FLUSH = "batch-flush"
+
+
+# -- span-tree helpers -----------------------------------------------------------
+
+
+def _child_index(tracer: Tracer) -> dict[int, list[Span]]:
+    """``id(parent) -> children`` over the finished spans, built once."""
+    kids: dict[int, list[Span]] = defaultdict(list)
+    for s in tracer.spans:
+        if s.end_us is not None and s.parent is not None:
+            kids[id(s.parent)].append(s)
+    return kids
+
+
+def _subtree_sums(span: Span, kids: dict[int, list[Span]]) -> tuple[float, float, float]:
+    """Summed (queue, serve, kv) durations in the descendant tree of ``span``.
+
+    ``serve`` spans cover their ``kv`` children in wall time, so callers
+    use ``serve - kv`` for KV-exclusive service; ``record`` spans are
+    skipped (they re-cover time the serve span already owns).
+    """
+    queue = serve = kv = 0.0
+    stack = [span]
+    while stack:
+        node = stack.pop()
+        for ch in kids.get(id(node), ()):
+            cat = ch.cat
+            if cat == "queue":
+                queue += ch.duration_us
+            elif cat == "serve":
+                serve += ch.duration_us
+            elif cat == "kv":
+                kv += ch.duration_us
+            stack.append(ch)
+    return queue, serve, kv
+
+
+def _flush_target(op: Span) -> Span | None:
+    """The batch flush span a deferred op links to (None for sync ops)."""
+    for dst, kind in op.links:
+        if kind == LINK_BATCH_FLUSH:
+            return dst
+    return None
+
+
+def _op_phases(op: Span, kids: dict[int, list[Span]],
+               inbound: dict[int, int]) -> tuple[float, dict, bool]:
+    """(true latency, per-phase µs, deferred?) for one finished op span."""
+    target = _flush_target(op)
+    if target is not None and target.end_us is not None:
+        # deferred op: true latency is enqueue-to-durable, and it owns an
+        # amortized 1/n share of the flush round trip's phases.  The op
+        # that trips the flush budget carries the batch RPC *inside* its
+        # own span, so client time excludes RPC children here too.
+        own_rpc = sum(ch.duration_us for ch in kids.get(id(op), ())
+                      if ch.cat == "rpc")
+        share = 1.0 / max(1, inbound.get(id(target), 1))
+        queue, serve, kv = _subtree_sums(target, kids)
+        network = max(0.0, target.duration_us - queue - serve)
+        phases = {
+            "client": max(0.0, op.duration_us - own_rpc),
+            "client_queue": max(0.0, target.start_us - op.end_us),
+            "network": network * share,
+            "server_queue": queue * share,
+            "service": max(0.0, serve - kv) * share,
+            "kv": kv * share,
+        }
+        return target.end_us - op.start_us, phases, True
+    rpc_total = queue = serve = kv = 0.0
+    for ch in kids.get(id(op), ()):
+        if ch.cat != "rpc":
+            continue
+        rpc_total += ch.duration_us
+        q, s, k = _subtree_sums(ch, kids)
+        queue += q
+        serve += s
+        kv += k
+    total = op.duration_us
+    phases = {
+        "client": max(0.0, total - rpc_total),
+        "client_queue": 0.0,
+        "network": max(0.0, rpc_total - queue - serve),
+        "server_queue": queue,
+        "service": max(0.0, serve - kv),
+        "kv": kv,
+    }
+    return total, phases, False
+
+
+# -- attribution -----------------------------------------------------------------
+
+
+def _dist(values: list[float]) -> dict:
+    vals = sorted(values)
+    return {
+        "mean": sum(vals) / len(vals),
+        "p50": _percentile(vals, 0.50),
+        "p95": _percentile(vals, 0.95),
+        "p99": _percentile(vals, 0.99),
+    }
+
+
+def analyze_ops(tracer: Tracer) -> dict:
+    """Per-op-type critical-path attribution over every finished op span.
+
+    Returns ``{op_name: {count, deferred, latency_us, phases_us,
+    phase_share}}`` where ``latency_us``/``phases_us`` carry exact
+    mean/p50/p95/p99 and ``phase_share`` is each phase's fraction of the
+    summed decomposition (0..1, summing to 1 when any time was recorded).
+    """
+    kids = _child_index(tracer)
+    inbound: dict[int, int] = defaultdict(int)
+    for s in tracer.spans:
+        for dst, kind in s.links:
+            if kind == LINK_BATCH_FLUSH:
+                inbound[id(dst)] += 1
+    latencies: dict[str, list[float]] = defaultdict(list)
+    phase_vals: dict[str, dict[str, list[float]]] = defaultdict(
+        lambda: {p: [] for p in PHASES})
+    deferred_counts: dict[str, int] = defaultdict(int)
+    for s in tracer.spans:
+        if s.cat != "op" or s.end_us is None:
+            continue
+        total, phases, deferred = _op_phases(s, kids, inbound)
+        latencies[s.name].append(total)
+        pv = phase_vals[s.name]
+        for p in PHASES:
+            pv[p].append(phases[p])
+        if deferred:
+            deferred_counts[s.name] += 1
+    ops: dict[str, dict] = {}
+    for name in sorted(latencies):
+        pv = phase_vals[name]
+        sums = {p: sum(pv[p]) for p in PHASES}
+        denom = sum(sums.values())
+        ops[name] = {
+            "count": len(latencies[name]),
+            "deferred": deferred_counts[name],
+            "latency_us": _dist(latencies[name]),
+            "phases_us": {p: _dist(pv[p]) for p in PHASES},
+            "phase_share": {p: (sums[p] / denom if denom else 0.0)
+                            for p in PHASES},
+        }
+    return ops
+
+
+def link_summary(tracer: Tracer) -> dict:
+    """Counts of causal links and their resolution status.
+
+    ``resolved`` links point at a finished span; ``deferred_ops`` is the
+    number of op spans with at least one batch-flush link and
+    ``multi_link_ops`` how many carry more than one (must be 0 — an op
+    can only ride one flush).
+    """
+    count = resolved = deferred_ops = multi = 0
+    by_kind: dict[str, int] = defaultdict(int)
+    for s in tracer.spans:
+        flushes = 0
+        for dst, kind in s.links:
+            count += 1
+            by_kind[kind] += 1
+            if dst.end_us is not None:
+                resolved += 1
+            if kind == LINK_BATCH_FLUSH:
+                flushes += 1
+        if s.cat == "op" and flushes:
+            deferred_ops += 1
+            if flushes > 1:
+                multi += 1
+    return {
+        "count": count,
+        "resolved": resolved,
+        "by_kind": dict(sorted(by_kind.items())),
+        "deferred_ops": deferred_ops,
+        "multi_link_ops": multi,
+    }
+
+
+# -- heat timelines ---------------------------------------------------------------
+
+
+def heat_timelines(tracer: Tracer, window_us: float | None = None,
+                   max_windows: int = 120) -> dict:
+    """Windowed per-server busy-fraction and queue-pressure series.
+
+    ``busy[i]`` is the fraction of window ``i`` covered by ``serve``
+    spans; ``queue_depth[i]`` is the time-averaged number of requests
+    waiting (summed ``queue``-span overlap divided by the window).  With
+    no explicit ``window_us`` the horizon is split into at most
+    ``max_windows`` equal windows.
+    """
+    serve_by: dict[str, list[Span]] = defaultdict(list)
+    queue_by: dict[str, list[Span]] = defaultdict(list)
+    horizon = 0.0
+    for s in tracer.spans:
+        if s.end_us is None:
+            continue
+        if s.cat == "serve":
+            serve_by[s.track].append(s)
+        elif s.cat == "queue":
+            queue_by[s.track].append(s)
+        else:
+            continue
+        if s.end_us > horizon:
+            horizon = s.end_us
+    if horizon <= 0.0:
+        return {"window_us": 0.0, "servers": {}}
+    window = window_us if window_us else horizon / max_windows
+    n = int(horizon / window) + 1
+
+    def accumulate(spans: list[Span]) -> list[float]:
+        acc = [0.0] * n
+        for s in spans:
+            first = int(s.start_us / window)
+            last = min(int(s.end_us / window), n - 1)
+            for i in range(first, last + 1):
+                lo = i * window
+                hi = lo + window
+                overlap = min(s.end_us, hi) - max(s.start_us, lo)
+                if overlap > 0.0:
+                    acc[i] += overlap
+        return [v / window for v in acc]
+
+    servers: dict[str, dict] = {}
+    for track in sorted(set(serve_by) | set(queue_by)):
+        servers[track] = {
+            "busy": [min(1.0, v) for v in accumulate(serve_by.get(track, []))],
+            "queue_depth": accumulate(queue_by.get(track, [])),
+        }
+    return {"window_us": window, "servers": servers}
+
+
+# -- reports ---------------------------------------------------------------------
+
+
+def attribution_report(tracer: Tracer, meta: dict | None = None,
+                       window_us: float | None = None) -> dict:
+    """The full JSON report: attribution + link audit + heat timelines."""
+    return {
+        "schema": 1,
+        "meta": dict(meta or {}),
+        "ops": analyze_ops(tracer),
+        "links": link_summary(tracer),
+        "heat": heat_timelines(tracer, window_us),
+    }
+
+
+def compare_attribution(baseline: dict, current: dict,
+                        max_drift: float = 0.10) -> list[dict]:
+    """Phase-share drift between two reports, as findings.
+
+    Compares each (op, phase) share present in both reports and flags
+    absolute differences above ``max_drift`` (a 0..1 fraction — 0.10
+    means ten share points).  Ops present in only one report are
+    reported as ``added``/``removed`` findings, not share drift.
+    """
+    findings: list[dict] = []
+    base_ops = baseline.get("ops", {})
+    cur_ops = current.get("ops", {})
+    for name in sorted(set(base_ops) | set(cur_ops)):
+        if name not in cur_ops:
+            findings.append({"op": name, "kind": "removed"})
+            continue
+        if name not in base_ops:
+            findings.append({"op": name, "kind": "added"})
+            continue
+        bs = base_ops[name].get("phase_share", {})
+        cs = cur_ops[name].get("phase_share", {})
+        for phase in PHASES:
+            b = bs.get(phase, 0.0)
+            c = cs.get(phase, 0.0)
+            if abs(c - b) > max_drift:
+                findings.append({
+                    "op": name, "kind": "share-drift", "phase": phase,
+                    "baseline": b, "current": c, "delta": c - b,
+                })
+    return findings
+
+
+def format_attribution(report: dict, title: str = "") -> str:
+    """Human-readable attribution table (mirrors the harness report style)."""
+    lines: list[str] = []
+    meta = report.get("meta", {})
+    head = title or " ".join(
+        str(meta[k]) for k in ("system", "engine", "op") if k in meta)
+    lines.append(f"== latency attribution{': ' + head if head else ''}")
+    labels = {"client": "client", "client_queue": "c-queue", "network": "network",
+              "server_queue": "s-queue", "service": "service", "kv": "kv"}
+    header = (f"{'op':<18} {'n':>5} {'p50(µs)':>10} {'p95(µs)':>10} "
+              f"{'p99(µs)':>10}  " + "".join(f"{labels[p]:>9}" for p in PHASES))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in report["ops"].items():
+        lat = row["latency_us"]
+        shares = "".join(f"{row['phase_share'][p] * 100:>8.1f}%" for p in PHASES)
+        lines.append(f"{name:<18} {row['count']:>5} {lat['p50']:>10.1f} "
+                     f"{lat['p95']:>10.1f} {lat['p99']:>10.1f}  {shares}")
+        if row["deferred"]:
+            cq = row["phases_us"]["client_queue"]
+            lines.append(f"{'':<18}   └─ {row['deferred']}/{row['count']} deferred "
+                         f"(write-behind): mean client-queue {cq['mean']:.1f} µs, "
+                         f"latency = enqueue→durable")
+    links = report.get("links", {})
+    if links.get("count"):
+        lines.append(f"links: {links['count']} total, {links['resolved']} resolved, "
+                     f"{links['deferred_ops']} deferred ops"
+                     + (f", {links['multi_link_ops']} MULTI-LINKED (bug!)"
+                        if links.get("multi_link_ops") else ""))
+    heat = report.get("heat", {})
+    if heat.get("servers"):
+        lines.append(f"heat: {len(heat['servers'])} server timelines at "
+                     f"{heat['window_us']:.1f} µs windows (exported with the trace)")
+    return "\n".join(lines)

@@ -35,6 +35,9 @@ class Span:
     parent: "Span | None" = None
     end_us: float | None = None
     args: dict = field(default_factory=dict)
+    #: outbound causal links [(target Span, kind)] — e.g. a deferred op
+    #: span pointing at the batch flush span that made it durable
+    links: list = field(default_factory=list)
 
     @property
     def duration_us(self) -> float:
@@ -100,6 +103,15 @@ class Tracer:
         self.instants.append(inst)
         return inst
 
+    def link(self, src: Span, dst: Span, kind: str = "link") -> None:
+        """Record a causal edge from ``src`` to ``dst`` (beyond parenthood).
+
+        Exported as Chrome flow events, and consumed by
+        :mod:`repro.obs.analyze` to attribute a deferred op's latency to
+        the batch round trip that actually carried it.
+        """
+        src.links.append((dst, kind))
+
     # -- inspection ----------------------------------------------------------
     def finished_spans(self) -> list[Span]:
         return [s for s in self.spans if s.end_us is not None]
@@ -161,3 +173,6 @@ class NullTracer(Tracer):
 
     def instant(self, name, ts_us, track, parent=None, args=None) -> Instant:
         return Instant(name, ts_us, track, parent)
+
+    def link(self, src, dst, kind="link") -> None:
+        pass

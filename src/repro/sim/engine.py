@@ -52,6 +52,7 @@ from .rpc import (
     TAG_PARALLEL,
     TAG_RPC,
     TAG_SPAN_BEGIN,
+    TAG_SPAN_CAPTURE,
     TAG_SPAN_END,
     Batch,
     LocalCharge,
@@ -60,6 +61,7 @@ from .rpc import (
     Rpc,
     Sleep,
     SpanBegin,
+    SpanCapture,
     SpanEnd,
 )
 from .simulator import Simulator
@@ -74,6 +76,7 @@ __all__ = [
     "Rpc",
     "Sleep",
     "SpanBegin",
+    "SpanCapture",
     "SpanEnd",
 ]
 
@@ -157,20 +160,40 @@ class _ObservableEngine:
                                  state.track, parent, {"server": rpc.server})
 
     # -- batched RPC execution (shared by both engines) ---------------------------
-    def _exec_batch(self, node: ServerNode, batch: Batch):
+    def _exec_batch(self, node: ServerNode, batch: Batch, span=None,
+                    start: float = 0.0):
         """Dispatch every sub-op of a batch in order under one group-commit
         scope.  Returns ``(results, first_err)`` — a failing sub-op yields
         ``None`` in its slot and the first error is reported after the
-        whole batch ran (Parallel semantics)."""
+        whole batch ran (Parallel semantics).
+
+        With a tracer attached (the caller passes its batch ``span`` and
+        the service ``start`` time) every sub-op gets a ``batch.<method>``
+        child span on the server track, positioned by the meter's running
+        total so the per-record KV breakdown nests under it.
+        """
         results = []
         first_err: FSError | None = None
         gc = node.group_commit
         ctx = gc() if gc is not None else None
         if ctx is not None:
             ctx.__enter__()
+        meter = node.meter
+        # the per-dispatch KV sink the caller installed; its running meter
+        # total is the only clock inside a service period
+        sink = meter.trace
+        trace_records = span is not None and sink is not None
+        base = meter.total_us if trace_records else 0.0
+        rec_span = None
         try:
             ops = node._ops
-            for rpc in batch.rpcs:
+            for i, rpc in enumerate(batch.rpcs):
+                if trace_records:
+                    rec_span = self.tracer.begin(
+                        f"batch.{rpc.method}", "record",
+                        start + (meter.total_us - base), batch.server, span,
+                        {"index": i})
+                    sink.parent = rec_span
                 try:
                     fn = ops.get(rpc.method)
                     if fn is None:
@@ -184,16 +207,26 @@ class _ObservableEngine:
                     if first_err is None:
                         first_err = e
                 results.append(result)
+                if trace_records:
+                    self.tracer.end(rec_span, start + (meter.total_us - base))
+                    sink.parent = span
         finally:
             if ctx is not None:
                 ctx.__exit__(None, None, None)
         return results, first_err
 
     def _batch_span(self, state: _ClientState, batch: Batch):
-        """Open the client-side span of one batched round trip."""
+        """Open the client-side span of one batched round trip, and link
+        every captured deferred-op span (``batch.origins``) to it."""
         parent = state.spans[-1][0] if state.spans else None
-        return self.tracer.begin(f"rpc.batch[{len(batch.rpcs)}]", "rpc", self.now,
+        span = self.tracer.begin(f"rpc.batch[{len(batch.rpcs)}]", "rpc", self.now,
                                  state.track, parent, {"server": batch.server})
+        origins = batch.origins
+        if origins:
+            link = self.tracer.link
+            for origin in origins:
+                link(origin, span, "batch-flush")
+        return span
 
     def _record_batch(self, batch: Batch, span, arrive: float, start: float,
                       service: float) -> None:
@@ -314,6 +347,9 @@ class DirectEngine(_ObservableEngine):
                 self._span_end(self._client)
             elif tag == TAG_MARK:
                 self._mark(self._client, cmd)
+            elif tag == TAG_SPAN_CAPTURE:
+                client = self._client
+                send_value = client.spans[-1][0] if client.spans else None
             elif tag == TAG_BATCH:
                 try:
                     send_value = self._do_batch(cmd)
@@ -408,7 +444,7 @@ class DirectEngine(_ObservableEngine):
         if self.tracer is not None and meter.policy is not None:
             meter.trace = KVTraceSink(self.tracer, batch.server, span, start)
         try:
-            results, first_err = self._exec_batch(node, batch)
+            results, first_err = self._exec_batch(node, batch, span, start)
         finally:
             meter.trace = None
         service = meter.total_us - before + cost.server_overhead_us
@@ -534,6 +570,9 @@ class EventEngine(_ObservableEngine):
         elif tag == TAG_MARK:
             self._mark(state, cmd)
             self._step(gen, state, on_done, None, None)
+        elif tag == TAG_SPAN_CAPTURE:
+            span = state.spans[-1][0] if state.spans else None
+            self._step(gen, state, on_done, span, None)
         elif tag == TAG_BATCH:
             self._issue_batch(gen, state, on_done, cmd)
         else:
@@ -648,7 +687,7 @@ class EventEngine(_ObservableEngine):
         if tracer is not None and meter.policy is not None:
             meter.trace = KVTraceSink(tracer, batch.server, span, start)
         try:
-            results, first_err = self._exec_batch(node, batch)
+            results, first_err = self._exec_batch(node, batch, span, start)
         finally:
             meter.trace = None
         service = meter.total_us - before + cost.server_overhead_us

@@ -28,6 +28,7 @@ TAG_SPAN_BEGIN = 3
 TAG_SPAN_END = 4
 TAG_MARK = 5
 TAG_BATCH = 6
+TAG_SPAN_CAPTURE = 7
 
 #: shared default for Rpc.kwargs — never mutate (handlers receive a copy
 #: via ``**kwargs`` unpacking, so sharing one empty dict is safe)
@@ -75,14 +76,22 @@ class Batch:
     in the issuing generator after the whole batch completes, mirroring
     :class:`Parallel` semantics.  Resumes with the list of per-op results
     (``None`` for failed entries).
+
+    ``origins`` optionally carries the open op spans (see
+    :class:`SpanCapture`) of the deferred operations this batch flushes;
+    the engines link each origin to the batch's flush span so the trace
+    records which round trip made every write-behind op durable.  It is
+    ``None`` on untraced runs — the field costs nothing unless a tracer
+    is attached.
     """
 
-    __slots__ = ("server", "rpcs")
+    __slots__ = ("server", "rpcs", "origins")
     tag = TAG_BATCH
 
-    def __init__(self, server: str, rpcs: list[Rpc]):
+    def __init__(self, server: str, rpcs: list[Rpc], origins: list | None = None):
         self.server = server
         self.rpcs = rpcs
+        self.origins = origins
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Batch({self.server!r}, {self.rpcs!r})"
@@ -179,3 +188,21 @@ class Mark:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Mark({self.name!r}, {self.args!r})"
+
+
+class SpanCapture:
+    """Resume with the innermost open :class:`~repro.obs.tracer.Span`.
+
+    A write-behind client yields this while deferring an operation so it
+    can remember *which op span* the deferred work belongs to; when the
+    batch later flushes, the engines link each captured origin span to the
+    flush span (see ``Batch.origins``).  Costs no virtual time; resumes
+    with ``None`` when no tracer is attached or no span is open.  Like
+    :class:`SpanBegin`, only yielded when a run has observability attached.
+    """
+
+    __slots__ = ()
+    tag = TAG_SPAN_CAPTURE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SpanCapture()"

@@ -96,6 +96,114 @@ def test_throughput_metrics_flag(capsys):
     assert "queue_depth" in out and ".utilization" in out
 
 
+def test_trace_locofs_b_batching_spans(capsys, tmp_path):
+    """`repro trace --system locofs-b` exports batch flush spans, per-record
+    children, and flow links from deferred op spans to their flush."""
+    out_file = tmp_path / "trace.json"
+    assert main(["trace", "locofs-b", "--out", str(out_file),
+                 "--engine", "event", "--items", "4", "-n", "2"]) == 0
+    import json
+
+    events = json.loads(out_file.read_text())["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    batches = [e for e in xs if e["name"].startswith("rpc.batch[")]
+    assert batches
+    records = [e for e in xs if e.get("cat") == "record"]
+    assert records
+    batch_ids = {e["args"]["span_id"] for e in batches}
+    assert all(e["args"]["parent_id"] in batch_ids for e in records)
+    # deferred creates carry link args and emit matched flow-event pairs
+    creates = [e for e in xs if e["name"] == "client.create"]
+    linked = [e for e in creates if e["args"].get("links")]
+    assert linked
+    assert all(link["kind"] == "batch-flush"
+               for e in linked for link in e["args"]["links"])
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    finishes = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts and starts == finishes
+
+
+def test_trace_locofs_b_composes_with_metrics(capsys, tmp_path):
+    mpath = tmp_path / "metrics.json"
+    assert main(["trace", "locofs-b", "--out", str(tmp_path / "t.json"),
+                 "--items", "4", "-n", "2",
+                 "--metrics", "--metrics-out", str(mpath)]) == 0
+    out = capsys.readouterr().out
+    assert "trace events written" in out and "== metrics" in out
+    import json
+
+    counters = json.loads(mpath.read_text())["counters"]
+    assert counters["client.batch.flush"] >= 1
+    assert any(k.endswith("batch.records") for k in counters)
+    assert any(k.endswith("wal.group_commit") for k in counters)
+
+
+def test_analyze_command_table(capsys):
+    assert main(["analyze", "locofs-c", "locofs-b", "-n", "2",
+                 "--items", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "latency attribution: locofs-c" in out
+    assert "latency attribution: locofs-b" in out
+    assert "c-queue" in out and "p99(µs)" in out
+    assert "deferred (write-behind)" in out
+    assert "32 resolved, 32 deferred ops" in out  # locofs-b section
+
+
+def test_analyze_json_and_trace_out(capsys, tmp_path):
+    jpath = tmp_path / "report.json"
+    tpath = tmp_path / "trace.json"
+    assert main(["analyze", "locofs-b", "-n", "2", "--items", "4",
+                 "--json", str(jpath), "--trace-out", str(tpath)]) == 0
+    import json
+
+    doc = json.loads(jpath.read_text())
+    assert doc["schema"] == 1
+    create = doc["systems"]["locofs-b"]["ops"]["client.create"]
+    assert create["deferred"] == create["count"]
+    assert create["phases_us"]["client_queue"]["mean"] > 0
+    links = doc["systems"]["locofs-b"]["links"]
+    assert links["count"] == links["resolved"] == links["deferred_ops"]
+    # exported trace includes the heat counter track
+    events = json.loads(tpath.read_text())["traceEvents"]
+    assert any(e.get("ph") == "C" for e in events)
+
+
+def test_analyze_baseline_gate(capsys, tmp_path):
+    import json
+
+    jpath = tmp_path / "report.json"
+    assert main(["analyze", "locofs-c", "-n", "2", "--items", "4",
+                 "--json", str(jpath)]) == 0
+    capsys.readouterr()
+    # same run vs itself: no drift
+    assert main(["analyze", "locofs-c", "-n", "2", "--items", "4",
+                 "--baseline", str(jpath)]) == 0
+    assert "matches" in capsys.readouterr().out
+    # corrupt the baseline shares: gate fails hard, soft-fail downgrades
+    doc = json.loads(jpath.read_text())
+    shares = doc["systems"]["locofs-c"]["ops"]["client.create"]["phase_share"]
+    shares["network"], shares["kv"] = shares["kv"], shares["network"]
+    jpath.write_text(json.dumps(doc))
+    assert main(["analyze", "locofs-c", "-n", "2", "--items", "4",
+                 "--baseline", str(jpath), "--max-drift", "5"]) == 1
+    assert "drift" in capsys.readouterr().out
+    assert main(["analyze", "locofs-c", "-n", "2", "--items", "4",
+                 "--baseline", str(jpath), "--max-drift", "5",
+                 "--soft-fail"]) == 0
+
+
+def test_analyze_direct_engine(capsys):
+    assert main(["analyze", "locofs-c", "--engine", "direct", "-n", "2",
+                 "--items", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "client.mkdir" in out and "client.stat" in out
+
+
+def test_analyze_unknown_system(capsys):
+    assert main(["analyze", "nope"]) == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
 def test_fsck_demo(capsys):
     assert main(["fsck-demo"]) == 0
     out = capsys.readouterr().out
