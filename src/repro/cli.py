@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --quick           # everything, scaled down
     python -m repro latency locofs-c -n 4     # ad-hoc latency run
     python -m repro throughput cephfs --op touch -n 8
+    python -m repro availability locofs-b --crash fms0 --check
     python -m repro trace locofs --out trace.json   # Perfetto trace of a run
     python -m repro analyze locofs-c locofs-b       # latency attribution
     python -m repro fsck-demo                 # build, corrupt, detect
@@ -155,6 +156,32 @@ def _cmd_throughput(args) -> int:
     busiest = max(r.server_utilization.items(), key=lambda kv: kv[1])
     print(f"busiest server: {busiest[0]} at {busiest[1]:.0%} utilization")
     _emit_metrics(args, registry)
+    return 0
+
+
+def _cmd_availability(args) -> int:
+    from repro.harness import run_availability
+    from repro.obs import MetricsRegistry
+
+    system = _SYSTEM_ALIASES.get(args.system, args.system)
+    registry = _metrics_registry(args) or MetricsRegistry()
+    r = run_availability(
+        system, num_servers=args.num_servers, crash_server=args.crash,
+        num_clients=args.clients, items_per_client=args.items,
+        crash_at_frac=args.crash_at, down_frac=args.down,
+        torn_tail_bytes=args.torn_tail, seed=args.seed, metrics=registry)
+    print(f"{system} with {r.crash_server} crashed mid-run "
+          f"({r.num_clients} clients, {r.num_servers} server(s)):")
+    print(f"  goodput   {r.goodput_iops:,.0f} IOPS "
+          f"(baseline {r.baseline_iops:,.0f} IOPS)")
+    print(f"  acked {r.acked_ops} ops, failed {r.failed_ops}, "
+          f"retries {r.retries}, gaveups {r.gaveups}")
+    print(f"  widest unavailability window: {r.unavailability_us / 1e3:,.1f} ms")
+    print(f"  lost acked creates after recovery: {r.lost_acked}")
+    _emit_metrics(args, registry)
+    if args.check and r.lost_acked:
+        print("FAIL: acked creates were lost across the crash", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -327,6 +354,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--client-scale", type=float, default=0.5)
     add_metrics_flags(p)
 
+    p = sub.add_parser(
+        "availability", help="crash/recover one server mid-run, report goodput")
+    p.add_argument("system", help="system name ('locofs' = locofs-c)")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--crash", default="fms0", metavar="SERVER",
+                   help="server to crash (e.g. fms0, dms)")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--items", type=int, default=40)
+    p.add_argument("--crash-at", type=float, default=0.3, metavar="FRAC",
+                   help="crash at this fraction of the measured wave")
+    p.add_argument("--down", type=float, default=0.2, metavar="FRAC",
+                   help="stay down for this fraction of the wave")
+    p.add_argument("--torn-tail", type=int, default=0, metavar="BYTES",
+                   help="tear this many bytes off the victim's WAL at crash")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 if any acked create is lost (CI smoke)")
+    add_metrics_flags(p)
+
     p = sub.add_parser("trace", help="trace a run, export Chrome/Perfetto JSON")
     p.add_argument("system", help="system name ('locofs' = locofs-c)")
     p.add_argument("--out", required=True, metavar="FILE",
@@ -374,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "latency": _cmd_latency,
         "throughput": _cmd_throughput,
+        "availability": _cmd_availability,
         "trace": _cmd_trace,
         "analyze": _cmd_analyze,
         "fsck-demo": _cmd_fsck_demo,

@@ -73,3 +73,15 @@ class StaleHandle(FSError):
     """A cached handle or lease is no longer valid (ESTALE)."""
 
     errno = errno.ESTALE
+
+
+class ServerDown(FSError):
+    """An RPC timed out against a crashed or unreachable server (EHOSTDOWN).
+
+    Raised by the engines after ``CostModel.timeout_us`` elapses with no
+    response and the retry policy is exhausted.  ``path`` carries the
+    server name rather than a file path — by the time the client gives up
+    it is the *server*, not the namespace, that is the story.
+    """
+
+    errno = errno.EHOSTDOWN

@@ -13,7 +13,14 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.common import pathutil
-from repro.common.errors import Exists, IsADirectory, NoEntry, NotEmpty, PermissionDenied
+from repro.common.errors import (
+    Exists,
+    IsADirectory,
+    NoEntry,
+    NotEmpty,
+    PermissionDenied,
+    ServerDown,
+)
 from repro.common.types import Credentials, DirEntry, ROOT_CRED, StatResult
 from repro.fsbase import FSClientBase
 from repro.metadata import dirent as de
@@ -461,6 +468,11 @@ class BatchingLocoClient(LocoClient):
         #: last parent (mode, uid, gid) that passed the write check — the
         #: fast-path create memo (the verdict depends only on these + cred)
         self._perm_ok: tuple | None = None
+        #: deferred flush errors beyond the first of each flush (satellite
+        #: fix: every conflict is preserved, not just ``exists[0]``)
+        self.deferred_errors: list[Exception] = []
+        #: flushes re-queued after a ServerDown (write-behind retry path)
+        self.flush_requeues = 0
 
     # -- write-behind plumbing ---------------------------------------------------------
     @property
@@ -484,10 +496,20 @@ class BatchingLocoClient(LocoClient):
             yield Mark("client.batch.flush",
                        {"server": server, "n": len(pend.entries), "reason": reason})
             self._set_queue_gauge()
-        results = yield Batch(server, [Rpc(server, "create_batch",
-                                           (tuple(pend.entries),),
-                                           send_bytes=pend.nbytes)],
-                              origins=pend.origins or None)
+        try:
+            results = yield Batch(server, [Rpc(server, "create_batch",
+                                               (tuple(pend.entries),),
+                                               send_bytes=pend.nbytes)],
+                                  origins=pend.origins or None)
+        except ServerDown:
+            # the retried attempts all timed out: re-queue the whole flush
+            # (same entry tuples, so the eventual redelivery deduplicates
+            # server-side) and let a later flush trigger try again
+            self._requeue(server, pend)
+            if self._obs_active:
+                yield Mark("client.flush.requeue",
+                           {"server": server, "n": len(pend.entries)})
+            raise
         # writing under a cached parent piggybacks a lease renewal: the
         # server saw live traffic for the directory, no separate RPC needed
         now = self.now_us
@@ -495,9 +517,37 @@ class BatchingLocoClient(LocoClient):
             self.dcache.renew(path, now)
         out = results[0]
         if out["exists"]:
-            # deferred duplicate create: surfaces at the flush boundary
-            raise Exists(out["exists"][0])
+            # deferred duplicate creates surface at the flush boundary:
+            # the first aborts the flushing op, the rest are preserved in
+            # ``deferred_errors`` instead of being silently dropped
+            errs = [Exists(name) for name in out["exists"]]
+            rest = errs[1:]
+            if rest:
+                self.deferred_errors.extend(rest)
+                metrics = getattr(self._engine, "metrics", None)
+                if metrics is not None:
+                    metrics.counter("client.deferred_errors").inc(len(rest))
+                if self._obs_active:
+                    yield Mark("client.flush.deferred_errors",
+                               {"server": server, "n": len(rest)})
+            raise errs[0]
         return out
+
+    def _requeue(self, server: str, pend: "_PendingQueue") -> None:
+        """Put a failed flush back at the head of the server's queue."""
+        cur = self._pending.get(server)
+        if cur is not None:
+            # merge the failed flush *ahead* of anything queued since
+            pend.entries.extend(cur.entries)
+            pend.dirs.update(cur.dirs)
+            pend.lease_paths.update(cur.lease_paths)
+            pend.nbytes += cur.nbytes
+            pend.origins.extend(cur.origins)
+        self._pending[server] = pend
+        dirty = self._dirty
+        for e in pend.entries:
+            dirty[(e[0], e[1])] = server
+        self.flush_requeues += 1
 
     def _g_flush_stale(self) -> Generator:
         """Flush every queue whose oldest entry exceeds the age bound."""

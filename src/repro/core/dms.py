@@ -24,6 +24,8 @@ of all descendant *directories* — a contiguous prefix move in the B+-tree
 
 from __future__ import annotations
 
+import os
+
 from repro.common import pathutil
 from repro.common.errors import Exists, InvalidArgument, NoEntry, NotEmpty, PermissionDenied
 from repro.common.stats import Counters
@@ -36,6 +38,7 @@ from repro.common.types import (
 from repro.common.uuidgen import ROOT_UUID, UuidAllocator
 from repro.kv import BTreeStore, HashStore
 from repro.kv.meter import Meter
+from repro.kv.wal import WriteAheadLog
 from repro.metadata import dirent
 from repro.metadata.acl import W_OK, X_OK, may_access
 from repro.metadata.layout import DIR_INODE
@@ -126,6 +129,36 @@ class DirectoryMetadataServer:
     def attach_meter(self, meter: Meter) -> None:
         self.store.meter = meter
         self.meter = meter
+
+    # -- crash/recovery (repro.sim.faults hooks) ----------------------------------
+    def crash(self, torn_tail_bytes: int = 0) -> None:
+        """The DMS process dies: the store and the path->meta mirror are
+        volatile; only the WAL survives, optionally with a torn tail."""
+        store = self.store
+        wal = getattr(store, "_wal", None)
+        self._wal_path = wal.path if wal is not None else None
+        store.close()
+        if self._wal_path is not None and torn_tail_bytes:
+            WriteAheadLog.tear_tail(self._wal_path, torn_tail_bytes)
+        cls = BTreeStore if self.backend == "btree" else HashStore
+        self.store = cls()
+        self.store.meter = self.meter
+        self._meta = {}
+
+    def restart(self) -> int:
+        """Rebuild the store by WAL replay (then the mirror from the
+        store); returns the replayed byte count for recovery latency."""
+        path = getattr(self, "_wal_path", None)
+        nbytes = os.path.getsize(path) if path and os.path.exists(path) else 0
+        cls = BTreeStore if self.backend == "btree" else HashStore
+        self.store = cls(wal_path=path)
+        self.store.meter = self.meter
+        self._meta = {}
+        if self.store.get(_ikey("/")) is None:
+            self._mkroot()
+        else:
+            self._recover()
+        return nbytes
 
     def bind_metrics(self, registry, prefix: str) -> None:
         self.counters.bind(registry, prefix)

@@ -23,6 +23,7 @@ concatenated under ``E:<directory_uuid>`` (backward dirent organization).
 from __future__ import annotations
 
 import contextlib
+import os
 
 from repro.common.errors import Exists, NoEntry, PermissionDenied
 from repro.common.stats import Counters
@@ -30,6 +31,7 @@ from repro.common.types import Credentials, FileType, S_IFREG
 from repro.common.uuidgen import UuidAllocator, uuid_fid
 from repro.kv import HashStore
 from repro.kv.meter import Meter
+from repro.kv.wal import WriteAheadLog
 from repro.metadata import dirent
 from repro.metadata.acl import may_access
 from repro.metadata.layout import FILE_ACCESS, FILE_CONTENT, FILE_COUPLED
@@ -39,6 +41,11 @@ _A = b"A:"
 _C = b"C:"
 _F = b"F:"
 _E = b"E:"
+
+#: verdicts for a create-batch probe hit (see ``_probe_verdict``)
+_APPLIED = 0   # replay of an already-durable create: return its uuid
+_REPAIR = 1    # torn WAL tail left a partial create: re-apply as fresh
+_CONFLICT = 2  # a different file of the same name exists
 
 
 def fkey(dir_uuid: int, name: str) -> bytes:
@@ -118,6 +125,38 @@ class FileMetadataServer:
     def attach_meter(self, meter: Meter) -> None:
         self.store.meter = meter
         self.meter = meter
+
+    # -- crash/recovery (repro.sim.faults hooks) ----------------------------------
+    def crash(self, torn_tail_bytes: int = 0) -> None:
+        """The FMS process dies: volatile state is lost, only the WAL
+        survives — optionally with ``torn_tail_bytes`` chopped off, a
+        crash that interrupted the physical write-out of a group commit.
+        Without a WAL the namespace is honestly gone on restart.
+        """
+        store = self.store
+        wal = getattr(store, "_wal", None)
+        self._wal_path = wal.path if wal is not None else None
+        # closing flushes buffered log records: in this simulation a record
+        # handed to the OS counts as durable (the torn tail models the rest)
+        store.close()
+        if self._wal_path is not None and torn_tail_bytes:
+            WriteAheadLog.tear_tail(self._wal_path, torn_tail_bytes)
+        self.store = HashStore()
+        self.store.meter = self.meter
+
+    def restart(self) -> int:
+        """Rebuild the store by WAL replay; returns the replayed byte
+        count, which the fault layer converts into recovery latency
+        (``CostModel.recovery_us``) before the server serves again."""
+        path = getattr(self, "_wal_path", None)
+        nbytes = os.path.getsize(path) if path and os.path.exists(path) else 0
+        self.store = HashStore(wal_path=path)
+        self.store.meter = self.meter
+        ceiling = self.store.get(self._FID_KEY)
+        if ceiling is not None:
+            # never reuse ids from the durably reserved range
+            self.alloc._next_fid = int.from_bytes(ceiling, "big") + 1
+        return nbytes
 
     def bind_metrics(self, registry, prefix: str) -> None:
         self.counters.bind(registry, prefix)
@@ -220,6 +259,16 @@ class FileMetadataServer:
         skipped and reported in ``"exists"``; their ``"uuids"`` slot is
         ``None``.  (The write-behind client surfaces the first conflict as
         :class:`Exists` at the flush boundary — see DESIGN.md.)
+
+        Retried flushes are exactly-once.  A probe hit whose stored access
+        part is byte-identical to what this entry would write (same ctime/
+        mode/uid/gid — the content fingerprint of *this* create, since the
+        client reuses the original entry tuple on retry) is a replay of an
+        already-applied create, not a conflict: the entry is deduplicated,
+        its original uuid returned, and its dirent verified (and repaired
+        if a torn WAL tail lost it).  Genuine duplicates — a different
+        create of the same name — have a different fingerprint and still
+        report ``"exists"``.
         """
         if self.track_touches:
             self._touch("create", "access", "dirent")
@@ -241,7 +290,16 @@ class FileMetadataServer:
         seen: set[bytes] = set()
         for i, (entry, probe) in enumerate(zip(entries, probes)):
             key = keys[i]
-            if probe is not None or key in seen:
+            if probe is not None:
+                verdict, uuid = self._probe_verdict(entry, key, dkeys[i], probe)
+                if verdict == _APPLIED:
+                    uuids[i] = uuid
+                elif verdict == _REPAIR:
+                    seen.add(key)
+                    fresh.append((entry, key, dkeys[i], i))
+                else:
+                    exists.append(entry[1])
+            elif key in seen:
                 exists.append(entry[1])
             else:
                 seen.add(key)
@@ -279,6 +337,44 @@ class FileMetadataServer:
         for dkey, packed in dirents.items():
             self.store.append(_E + dkey, b"".join(packed))
         return {"uuids": uuids, "exists": exists}
+
+    def _probe_verdict(self, entry: tuple, key: bytes, dkey: bytes,
+                       probe: bytes) -> tuple[int, int | None]:
+        """Classify a create-batch probe hit: replay, torn remnant, or conflict.
+
+        A retried flush re-sends the original entry tuples, so an entry's
+        access-part bytes (ctime/mode/uid/gid) are a content fingerprint:
+        if the stored access part matches exactly, the stored file *is*
+        this create, already applied by the attempt whose response was
+        lost.  A different fingerprint is a genuine name conflict (any
+        other create carries a different virtual-time ctime).
+        """
+        dir_uuid, name, mode, cred, now_s, bsize = entry
+        fmode = S_IFREG | (mode & 0o7777)
+        if self.decoupled:
+            if probe != FILE_ACCESS.pack_values(now_s, fmode, cred.uid, cred.gid):
+                return _CONFLICT, None
+            c = self.store.get(_C + key)
+            if c is None:
+                # the crash tore the WAL between this entry's access and
+                # content parts: the create never fully applied — redo it
+                return _REPAIR, None
+            uuid = FILE_CONTENT.read(c, "suuid")
+        else:
+            if (FILE_COUPLED.read(probe, "ctime") != now_s
+                    or FILE_COUPLED.read(probe, "mode") != fmode
+                    or FILE_COUPLED.read(probe, "uid") != cred.uid
+                    or FILE_COUPLED.read(probe, "gid") != cred.gid):
+                return _CONFLICT, None
+            uuid = FILE_COUPLED.read(probe, "suuid")
+        # the dirent append lands after the inode parts in the WAL, so a
+        # torn tail can leave the inode without its dirent — repair it
+        ekey = _E + dkey
+        buf = self.store.get(ekey) or b""
+        if not any(e.name == name for e in dirent.iter_entries(buf)):
+            self.store.append(ekey, dirent.pack_entry(name, uuid, FileType.FILE))
+        self.counters.inc("batch.deduped")
+        return _APPLIED, uuid
 
     def op_getattr(self, dir_uuid: int, name: str) -> dict:
         """stat on a file reads both parts (Table 1: getattr touches all)."""

@@ -18,6 +18,7 @@ from . import (
     fig13_depth,
     fig14_rename,
     fig15_batching,
+    fig16_availability,
     table1_access_matrix,
     table3_clients,
 )
@@ -36,6 +37,7 @@ REGISTRY = {
     "fig13": fig13_depth,
     "fig14": fig14_rename,
     "fig15": fig15_batching,
+    "fig16": fig16_availability,
     "table1": table1_access_matrix,
     "table3": table3_clients,
 }

@@ -1,5 +1,6 @@
 """mdtest-style benchmark harness: workloads, runners, reporting."""
 
+from .availability import AvailabilityResult, run_availability
 from .mdtest import FILE_META_OPS, LATENCY_OPS, run_latency
 from .registry import LABELS, SYSTEM_NAMES, make_system
 from .report import format_metrics, format_series, format_table, normalize
@@ -8,6 +9,8 @@ from .trace import TraceGenerator
 from .workloads import TABLE3_CLIENTS, Workload, clients_for
 
 __all__ = [
+    "AvailabilityResult",
+    "run_availability",
     "FILE_META_OPS",
     "LATENCY_OPS",
     "run_latency",

@@ -114,6 +114,22 @@ class WriteAheadLog:
         self._fh.close()
 
     @staticmethod
+    def tear_tail(path: str, nbytes: int) -> None:
+        """Chop ``nbytes`` off the end of the log — a torn write.
+
+        Models a crash that interrupts the physical write-out of the last
+        commit: the tail record(s) lose bytes, so replay's CRC/length check
+        stops in front of them.  Used by the fault-injection layer
+        (``FaultSchedule.crash(..., torn_tail_bytes=N)``) and the
+        crash-during-group-commit tests.
+        """
+        if nbytes <= 0 or not os.path.exists(path):
+            return
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(0, size - nbytes))
+
+    @staticmethod
     def replay(path: str) -> Iterator[tuple[int, bytes, bytes]]:
         """Yield (op, key, value) for every intact record in the log."""
         if not os.path.exists(path):

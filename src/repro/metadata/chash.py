@@ -63,7 +63,9 @@ class ConsistentHashRing:
         self._nodes: set[str] = set()
         #: bumps on every add/remove; placement caches key on this
         self.version = 0
-        self._lookup_cache: dict[bytes, str] = {}
+        #: bytes key -> node (lookup) and (bytes key, n) -> node tuple
+        #: (lookup_n); tuple keys can't collide with bytes keys
+        self._lookup_cache: dict = {}
 
     def _rebuild(self, entries) -> None:
         memo_key = (frozenset(self._nodes), self.vnodes)
@@ -87,7 +89,9 @@ class ConsistentHashRing:
 
     def remove_node(self, name: str) -> None:
         if name not in self._nodes:
-            raise KeyError(name)
+            # symmetric with add_node's duplicate check: membership errors
+            # on either side surface as ValueError
+            raise ValueError(f"node not on ring: {name!r}")
         self._nodes.discard(name)
         self._rebuild([(p, n) for p, n in self._ring if n != name])
 
@@ -111,12 +115,21 @@ class ConsistentHashRing:
 
     def lookup_n(self, key: bytes | str, n: int) -> list[str]:
         """The first ``n`` distinct nodes walking clockwise from the key —
-        the classic replica-set selection on a consistent-hash ring."""
+        the classic replica-set selection on a consistent-hash ring.
+
+        Shares ``_lookup_cache`` with :meth:`lookup` under ``(key, n)``
+        tuple keys (type-distinct from lookup's bare bytes keys), so the
+        replication hot path skips the hash + ring walk on repeats."""
         if not self._ring:
             raise RuntimeError("ring is empty")
         n = min(n, len(self._nodes))
         if isinstance(key, str):
             key = key.encode()
+        cache = self._lookup_cache
+        ckey = (key, n)
+        hit = cache.get(ckey)
+        if hit is not None:
+            return list(hit)
         point = _hash64(key)
         idx = bisect.bisect_right(self._points, point)
         out: list[str] = []
@@ -126,6 +139,9 @@ class ConsistentHashRing:
                 out.append(name)
                 if len(out) == n:
                     break
+        if len(cache) >= _LOOKUP_CACHE_MAX:
+            cache.clear()
+        cache[ckey] = tuple(out)
         return out
 
     @property

@@ -290,19 +290,46 @@ def heat_timelines(tracer: Tracer, window_us: float | None = None,
     return {"window_us": window, "servers": servers}
 
 
+def fault_summary(tracer: Tracer) -> dict:
+    """Counts of fault-layer instants: retries, gaveups, crash/recover.
+
+    Empty dict when the run had no fault activity, so un-faulted reports
+    are byte-identical to pre-fault-layer ones."""
+    retries = gaveups = 0
+    crashes: dict[str, int] = {}
+    recovers: dict[str, int] = {}
+    for inst in tracer.instants:
+        if inst.name == "client.retry":
+            retries += 1
+        elif inst.name == "client.gaveup":
+            gaveups += 1
+        elif inst.name == "server.crash":
+            crashes[inst.track] = crashes.get(inst.track, 0) + 1
+        elif inst.name == "server.recover":
+            recovers[inst.track] = recovers.get(inst.track, 0) + 1
+    if not (retries or gaveups or crashes or recovers):
+        return {}
+    return {"retries": retries, "gaveups": gaveups,
+            "crashes": crashes, "recovers": recovers}
+
+
 # -- reports ---------------------------------------------------------------------
 
 
 def attribution_report(tracer: Tracer, meta: dict | None = None,
                        window_us: float | None = None) -> dict:
     """The full JSON report: attribution + link audit + heat timelines."""
-    return {
+    report = {
         "schema": 1,
         "meta": dict(meta or {}),
         "ops": analyze_ops(tracer),
         "links": link_summary(tracer),
         "heat": heat_timelines(tracer, window_us),
     }
+    faults = fault_summary(tracer)
+    if faults:
+        report["faults"] = faults
+    return report
 
 
 def compare_attribution(baseline: dict, current: dict,
@@ -370,4 +397,13 @@ def format_attribution(report: dict, title: str = "") -> str:
     if heat.get("servers"):
         lines.append(f"heat: {len(heat['servers'])} server timelines at "
                      f"{heat['window_us']:.1f} µs windows (exported with the trace)")
+    faults = report.get("faults")
+    if faults:
+        crashed = ", ".join(f"{s}×{n}" for s, n in sorted(faults["crashes"].items()))
+        recovered = ", ".join(
+            f"{s}×{n}" for s, n in sorted(faults["recovers"].items()))
+        lines.append(f"faults: {faults['retries']} retries, "
+                     f"{faults['gaveups']} gaveups"
+                     + (f"; crashed {crashed}" if crashed else "")
+                     + (f"; recovered {recovered}" if recovered else ""))
     return "\n".join(lines)

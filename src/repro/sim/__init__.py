@@ -3,6 +3,7 @@
 from .cluster import Cluster, ServerNode
 from .costmodel import DEFAULT_COST_MODEL, HDD, SSD, CostModel, DeviceModel, KVCostPolicy
 from .engine import DirectEngine, EventEngine
+from .faults import FaultSchedule, FaultState, RetryPolicy
 from .rpc import LocalCharge, Mark, Parallel, Rpc, Sleep, SpanBegin, SpanEnd
 from .simulator import Simulator
 
@@ -10,6 +11,9 @@ __all__ = [
     "Cluster",
     "ServerNode",
     "CostModel",
+    "FaultSchedule",
+    "FaultState",
+    "RetryPolicy",
     "DeviceModel",
     "KVCostPolicy",
     "DEFAULT_COST_MODEL",

@@ -27,6 +27,12 @@ class ServerNode:
         self.next_free = 0.0
         self.requests_served = 0
         self.busy_us = 0.0
+        #: fault-injection bookkeeping (repro.sim.faults): crash count and
+        #: virtual time spent replaying the WAL after restarts — the
+        #: replay window also counts toward ``busy_us`` (the server is
+        #: occupied, just not serving)
+        self.crashes = 0
+        self.recovered_us = 0.0
         #: bound-method dispatch table, one getattr per op per node lifetime
         #: instead of one per request (a dispatch is ~10 ns vs ~100 ns)
         self._ops: dict = {
@@ -111,3 +117,5 @@ class Cluster:
             n.next_free = 0.0
             n.requests_served = 0
             n.busy_us = 0.0
+            n.crashes = 0
+            n.recovered_us = 0.0

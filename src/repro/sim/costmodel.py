@@ -120,6 +120,23 @@ class CostModel:
     #: lease duration for client directory caches (paper §3.2.2)
     lease_seconds: float = 30.0
 
+    # --- failure handling (repro.sim.faults) -----------------------------------
+    #: client-side RPC timeout: how long a request to a dead (or dropped)
+    #: server occupies the client before it errors/retries.  ~11x the RTT,
+    #: in line with aggressive datacenter RPC deadlines.
+    timeout_us: float = 2_000.0
+    #: fixed cost of a server restart before WAL replay begins (process
+    #: spawn, store open, listener setup)
+    restart_fixed_us: float = 50_000.0
+    #: WAL replay rate in bytes/us (~400 MB/s: sequential read + memtable
+    #: re-insert; recovery is CPU-bound on the insert path, not the disk)
+    wal_replay_bpus: float = 400.0
+
+    def recovery_us(self, replayed_bytes: int) -> float:
+        """Virtual time a restarting server spends before serving again:
+        the fixed restart cost plus WAL replay proportional to log size."""
+        return self.restart_fixed_us + replayed_bytes / self.wal_replay_bpus
+
     def _kv_base_us(self) -> dict:
         """Base (byte-independent) cost per KV op kind."""
         return {

@@ -40,11 +40,12 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Generator
 
-from repro.common.errors import FSError
+from repro.common.errors import FSError, ServerDown
 from repro.obs.tracer import KVTraceSink
 
 from .cluster import Cluster, ServerNode
 from .costmodel import CostModel
+from .faults import F_DROP, FaultState, RetryPolicy
 from .rpc import (
     TAG_BATCH,
     TAG_DELAY,
@@ -116,6 +117,11 @@ class _ObservableEngine:
 
     tracer = None
     metrics = None
+    #: fault-injection runtime (:mod:`repro.sim.faults`); stays ``None``
+    #: until :meth:`attach_faults`, and every fault hook guards on that —
+    #: an un-attached engine's virtual time is bit-identical to before
+    faults: FaultState | None = None
+    retry: RetryPolicy | None = None
 
     def attach_observability(self, tracer=None, metrics=None) -> None:
         """Opt this engine (and its cluster's meters) into tracing/metrics."""
@@ -124,6 +130,41 @@ class _ObservableEngine:
         if metrics is not None:
             self.metrics = metrics
             self.cluster.attach_metrics(metrics)
+
+    def attach_faults(self, schedule, retry: RetryPolicy | None = None) -> None:
+        """Opt this engine into fault injection.
+
+        ``schedule`` is a :class:`~repro.sim.faults.FaultSchedule`; its
+        crash/restart events are processed lazily as virtual time passes.
+        An empty schedule attached here changes nothing — the determinism
+        goldens stay bit-identical (pinned by a test).
+        """
+        unknown = sorted(s for s in schedule.servers() if s not in self.cluster)
+        if unknown:
+            raise ValueError(f"fault schedule names unknown servers: {unknown}")
+        self.faults = FaultState(schedule, self)
+        self.retry = retry if retry is not None else RetryPolicy()
+
+    # -- fault-event instrumentation ---------------------------------------------
+    def _fault_transition(self, name: str, server: str, t: float,
+                          counter: str, up: int, **args) -> None:
+        """Crash/recover instant on the server's own track + counters."""
+        if self.tracer is not None:
+            self.tracer.instant(name, t, server, None, dict(args))
+        if self.metrics is not None:
+            self.metrics.counter(counter).inc()
+            self.metrics.timeseries(f"{server}.up").sample(t, up)
+
+    def _fault_mark(self, state: _ClientState, name: str, server: str,
+                    t: float, counter: str | None = None, **args) -> None:
+        """Client-side retry/gaveup instant + counter at time ``t``."""
+        if self.tracer is not None:
+            parent = state.spans[-1][0] if state.spans else None
+            a = {"server": server}
+            a.update(args)
+            self.tracer.instant(name, t, state.track, parent, a)
+        if self.metrics is not None:
+            self.metrics.counter(counter if counter is not None else name).inc()
 
     # -- span stack driven by SpanBegin/SpanEnd/Mark commands -------------------
     def _span_begin(self, state: _ClientState, cmd: SpanBegin) -> None:
@@ -303,7 +344,8 @@ class DirectEngine(_ObservableEngine):
                 raise TypeError(f"unknown engine command: {cmd!r}") from None
             if tag == TAG_RPC:
                 try:
-                    send_value = self._do_rpc(cmd)
+                    send_value = (self._do_rpc(cmd) if self.faults is None
+                                  else self._do_rpc_f(cmd))
                 except FSError as e:
                     exc = e
             elif tag == TAG_PARALLEL:
@@ -314,6 +356,7 @@ class DirectEngine(_ObservableEngine):
                 downlink_free = base
                 slowest = base
                 transfer_us = self.cost.transfer_us
+                rpc_fn = self._do_rpc if self.faults is None else self._do_rpc_f
                 for rpc in cmd.rpcs:
                     # the client's uplink serializes request payloads: each
                     # branch departs once its payload (and all earlier ones)
@@ -322,7 +365,7 @@ class DirectEngine(_ObservableEngine):
                         uplink += transfer_us(rpc.send_bytes)
                     self.now = base + uplink
                     try:
-                        results.append(self._do_rpc(rpc, single=False, transfers=False))
+                        results.append(rpc_fn(rpc, single=False, transfers=False))
                     except FSError as e:
                         results.append(None)
                         if first_err is None:
@@ -352,7 +395,8 @@ class DirectEngine(_ObservableEngine):
                 send_value = client.spans[-1][0] if client.spans else None
             elif tag == TAG_BATCH:
                 try:
-                    send_value = self._do_batch(cmd)
+                    send_value = (self._do_batch(cmd) if self.faults is None
+                                  else self._do_batch_f(cmd))
                 except FSError as e:
                     exc = e
             else:
@@ -376,6 +420,14 @@ class DirectEngine(_ObservableEngine):
         self.now += self._half_rtt
         # FIFO service: parallel branches hitting one server queue up
         arrive = self.now
+        faults = self.faults
+        if faults is not None:
+            faults.advance(arrive)
+            if faults.is_down(rpc.server, arrive):
+                # the request dies with the server; _do_rpc_f times out
+                if rpc_span is not None:
+                    self.tracer.end(rpc_span, arrive)
+                raise ServerDown(rpc.server)
         start = arrive if arrive > node.next_free else node.next_free
         meter = node.meter
         before = meter.total_us
@@ -438,6 +490,13 @@ class DirectEngine(_ObservableEngine):
             self.now += cost.transfer_us(send_bytes)
         self.now += self._half_rtt
         arrive = self.now
+        faults = self.faults
+        if faults is not None:
+            faults.advance(arrive)
+            if faults.is_down(batch.server, arrive):
+                if span is not None:
+                    self.tracer.end(span, arrive)
+                raise ServerDown(batch.server)
         start = arrive if arrive > node.next_free else node.next_free
         meter = node.meter
         before = meter.total_us
@@ -465,6 +524,82 @@ class DirectEngine(_ObservableEngine):
         if first_err is not None:
             raise first_err
         return results
+
+    # -- fault-aware wrappers (installed only when faults are attached) -----------
+    def _do_rpc_f(self, rpc: Rpc, single: bool = True, transfers: bool = True):
+        """Fault-aware ``_do_rpc``: wire-fate draw + timeout/retry loop.
+
+        A dropped request is lost before the server sees it (no spurious
+        side effects on retried non-idempotent ops); a down server
+        swallows the request on arrival.  Either way the client burns
+        ``timeout_us`` from the send, then backs off and re-issues until
+        the retry policy is exhausted and :class:`ServerDown` surfaces.
+        """
+        cost = self.cost
+        faults = self.faults
+        policy = self.retry
+        attempt = 0
+        while True:
+            t0 = self.now
+            fate, extra = faults.wire_fate()
+            if fate != F_DROP:
+                if extra:
+                    self.now += extra
+                try:
+                    return self._do_rpc(rpc, single, transfers)
+                except ServerDown:
+                    self.now = max(self.now, t0 + cost.timeout_us)
+            else:
+                # request loss on the wire: the server never executes it
+                self.now = t0 + cost.timeout_us
+            if attempt >= policy.max_retries:
+                self._fault_mark(self._client, "client.gaveup", rpc.server,
+                                 self.now)
+                raise ServerDown(rpc.server)
+            self._fault_mark(self._client, "client.retry", rpc.server,
+                             self.now, counter="client.retries",
+                             attempt=attempt + 1)
+            self.now += policy.backoff_us(attempt, faults.rng)
+            attempt += 1
+
+    def _do_batch_f(self, batch: Batch):
+        """Fault-aware ``_do_batch``.
+
+        A dropped batch loses the *response*: the server applies the
+        whole batch, the client times out and retries — the at-least-once
+        delivery case the FMS's idempotent ``create_batch`` dedup turns
+        into exactly-once.
+        """
+        cost = self.cost
+        faults = self.faults
+        policy = self.retry
+        attempt = 0
+        while True:
+            t0 = self.now
+            fate, extra = faults.wire_fate()
+            if extra:
+                self.now += extra
+            try:
+                results = self._do_batch(batch)
+                if fate != F_DROP:
+                    return results
+                # response lost: result (and any deferred error) discarded
+                self.now = max(self.now, t0 + cost.timeout_us)
+            except ServerDown:
+                self.now = max(self.now, t0 + cost.timeout_us)
+            except FSError:
+                if fate != F_DROP:
+                    raise
+                self.now = max(self.now, t0 + cost.timeout_us)
+            if attempt >= policy.max_retries:
+                self._fault_mark(self._client, "client.gaveup", batch.server,
+                                 self.now)
+                raise ServerDown(batch.server)
+            self._fault_mark(self._client, "client.retry", batch.server,
+                             self.now, counter="client.retries",
+                             attempt=attempt + 1)
+            self.now += policy.backoff_us(attempt, faults.rng)
+            attempt += 1
 
     def reset_clock(self) -> None:
         self.now = 0.0
@@ -579,8 +714,22 @@ class EventEngine(_ObservableEngine):
             raise TypeError(f"unknown engine command: {cmd!r}")
 
     def _issue(self, gen, state, on_done, rpc: Rpc, single: bool, group=None,
-               extra_delay: float = 0.0) -> None:
+               extra_delay: float = 0.0, attempt: int = 0) -> None:
         cost = self.cost
+        faults = self.faults
+        if faults is not None:
+            fate, extra = faults.wire_fate()
+            if fate == F_DROP:
+                # request loss: never delivered, the client times out from
+                # the send and the retry machinery takes over
+                if single:
+                    state.last_server = rpc.server
+                state.rpcs_issued += 1
+                self._retry_rpc(gen, state, on_done, rpc, single, group,
+                                attempt, self.sim.now)
+                return
+            if extra:
+                extra_delay += extra
         if rpc.send_bytes:
             delay = cost.transfer_us(rpc.send_bytes) + extra_delay
         else:
@@ -596,12 +745,24 @@ class EventEngine(_ObservableEngine):
         sim = self.sim
         deliver_at = sim.now + delay + self._half_rtt
         sim.at(deliver_at, self._deliver, gen, state, on_done, rpc, single,
-               group, rpc_span)
+               group, rpc_span, attempt)
 
     def _deliver(self, gen, state, on_done, rpc: Rpc, single: bool, group,
-                 rpc_span) -> None:
+                 rpc_span, attempt: int = 0) -> None:
         cost = self.cost
         sim = self.sim
+        faults = self.faults
+        if faults is not None:
+            now = sim.now
+            faults.advance(now)
+            if faults.is_down(rpc.server, now):
+                # arrived at a dead server: the request is lost, the
+                # client perceives a timeout measured from the arrival
+                if rpc_span is not None:
+                    self.tracer.end(rpc_span, now + cost.timeout_us)
+                self._retry_rpc(gen, state, on_done, rpc, single, group,
+                                attempt, now)
+                return
         node: ServerNode = self._nodes[rpc.server]
         arrive = sim.now
         start = arrive if arrive > node.next_free else node.next_free
@@ -652,16 +813,27 @@ class EventEngine(_ObservableEngine):
             pending, idx = group
             sim.at(respond_at, self._join, gen, state, on_done, pending, idx, result, err)
 
-    def _issue_batch(self, gen, state, on_done, batch: Batch) -> None:
+    def _issue_batch(self, gen, state, on_done, batch: Batch,
+                     attempt: int = 0) -> None:
         """Send one batched round trip: like ``_issue`` for a single RPC,
         with the sub-ops' request payloads summed on the uplink."""
         cost = self.cost
+        faults = self.faults
+        lost = None
         delay = 0.0
+        if faults is not None:
+            fate, extra = faults.wire_fate()
+            if fate == F_DROP:
+                # batches lose the *response*: the server executes the
+                # flush, the client times out — retry must be idempotent
+                lost = (attempt, self.sim.now)
+            elif extra:
+                delay = extra
         send_bytes = 0
         for rpc in batch.rpcs:
             send_bytes += rpc.send_bytes
         if send_bytes:
-            delay = cost.transfer_us(send_bytes)
+            delay += cost.transfer_us(send_bytes)
         if state.last_server is not None and state.last_server != batch.server:
             delay += cost.conn_switch_us
         state.last_server = batch.server
@@ -671,13 +843,23 @@ class EventEngine(_ObservableEngine):
             span = self._batch_span(state, batch)
         sim = self.sim
         sim.at(sim.now + delay + self._half_rtt, self._deliver_batch, gen, state,
-               on_done, batch, span)
+               on_done, batch, span, attempt, lost)
 
-    def _deliver_batch(self, gen, state, on_done, batch: Batch, span) -> None:
+    def _deliver_batch(self, gen, state, on_done, batch: Batch, span,
+                       attempt: int = 0, lost=None) -> None:
         """Server-side half of a batched round trip: one FIFO queue entry,
         every sub-op served back-to-back under one group-commit scope."""
         cost = self.cost
         sim = self.sim
+        faults = self.faults
+        if faults is not None:
+            now = sim.now
+            faults.advance(now)
+            if faults.is_down(batch.server, now):
+                if span is not None:
+                    self.tracer.end(span, now + cost.timeout_us)
+                self._retry_batch(gen, state, on_done, batch, attempt, now)
+                return
         node: ServerNode = self._nodes[batch.server]
         arrive = sim.now
         start = arrive if arrive > node.next_free else node.next_free
@@ -699,6 +881,14 @@ class EventEngine(_ObservableEngine):
             self._record_batch(batch, span, arrive, start, service)
             if self.metrics is not None:
                 self._sample_server(batch.server, node, arrive, finish)
+        if lost is not None:
+            # the server served the batch, but its response never reaches
+            # the client: time out from the send and retry
+            l_attempt, t0 = lost
+            if span is not None:
+                self.tracer.end(span, t0 + cost.timeout_us)
+            self._retry_batch(gen, state, on_done, batch, l_attempt, t0)
+            return
         reach_client = finish + self._half_rtt
         recv_bytes = 0
         for rpc, result in zip(batch.rpcs, results):
@@ -714,6 +904,52 @@ class EventEngine(_ObservableEngine):
             sim.at(respond_at, self._step, gen, state, on_done, None, first_err)
         else:
             sim.at(respond_at, self._step, gen, state, on_done, results, None)
+
+    # -- timeout + retry scheduling (fault injection only) -------------------------
+    def _retry_rpc(self, gen, state, on_done, rpc: Rpc, single: bool, group,
+                   attempt: int, base_t: float) -> None:
+        """One failed RPC attempt: the client perceives the loss
+        ``timeout_us`` after ``base_t``, then backs off and re-issues —
+        or gives up with :class:`ServerDown` once the policy is spent."""
+        sim = self.sim
+        policy = self.retry
+        fail_at = base_t + self.cost.timeout_us
+        if attempt >= policy.max_retries:
+            self._fault_mark(state, "client.gaveup", rpc.server, fail_at)
+            err = ServerDown(rpc.server)
+            at = fail_at if fail_at > sim.now else sim.now
+            if group is None:
+                sim.at(at, self._step, gen, state, on_done, None, err)
+            else:
+                pending, idx = group
+                sim.at(at, self._join, gen, state, on_done, pending, idx,
+                       None, err)
+            return
+        self._fault_mark(state, "client.retry", rpc.server, fail_at,
+                         counter="client.retries", attempt=attempt + 1)
+        t = fail_at + policy.backoff_us(attempt, self.faults.rng)
+        at = t if t > sim.now else sim.now
+        sim.at(at, self._issue, gen, state, on_done, rpc, single, group,
+               0.0, attempt + 1)
+
+    def _retry_batch(self, gen, state, on_done, batch: Batch, attempt: int,
+                     base_t: float) -> None:
+        """Batch flavor of :meth:`_retry_rpc` (batches are never inside a
+        Parallel group, so a give-up always resumes the generator)."""
+        sim = self.sim
+        policy = self.retry
+        fail_at = base_t + self.cost.timeout_us
+        if attempt >= policy.max_retries:
+            self._fault_mark(state, "client.gaveup", batch.server, fail_at)
+            err = ServerDown(batch.server)
+            at = fail_at if fail_at > sim.now else sim.now
+            sim.at(at, self._step, gen, state, on_done, None, err)
+            return
+        self._fault_mark(state, "client.retry", batch.server, fail_at,
+                         counter="client.retries", attempt=attempt + 1)
+        t = fail_at + policy.backoff_us(attempt, self.faults.rng)
+        at = t if t > sim.now else sim.now
+        sim.at(at, self._issue_batch, gen, state, on_done, batch, attempt + 1)
 
     def _sample_server(self, name: str, node: ServerNode, arrive: float,
                        finish: float) -> None:

@@ -65,3 +65,26 @@ def test_virtual_time_bit_identical(system, golden, current):
 def test_full_document_equality(golden, current):
     # belt and braces: any field added/removed/changed anywhere shows up here
     assert current == golden
+
+
+def test_empty_fault_schedule_is_bit_identical(golden, monkeypatch):
+    """An attached-but-empty FaultSchedule must be a perfect no-op.
+
+    The fault layer guards every check on "any faults configured?" and
+    draws no randomness for an empty schedule, so the seven golden
+    systems must fingerprint bit-identically with one attached.
+    """
+    from repro.harness import mdtest, registry, runner
+    from repro.sim.faults import FaultSchedule
+
+    real = registry.make_system
+
+    def with_empty_faults(*args, **kwargs):
+        system = real(*args, **kwargs)
+        system.engine.attach_faults(FaultSchedule())
+        return system
+
+    monkeypatch.setattr(registry, "make_system", with_empty_faults)
+    monkeypatch.setattr(runner, "make_system", with_empty_faults)
+    monkeypatch.setattr(mdtest, "make_system", with_empty_faults)
+    assert goldens.determinism_fingerprint() == golden

@@ -203,7 +203,7 @@ class TestConsistentHash:
         ring.add_node("a")
         with pytest.raises(ValueError):
             ring.add_node("a")
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError):
             ring.remove_node("zz")
 
     def test_placement_key_distinct_per_parent(self):
@@ -261,3 +261,54 @@ class TestLeaseCache:
         c.get("k", 1)
         c.get("x", 1)
         assert c.hit_rate == 0.5
+
+    def test_full_cache_evicts_expired_before_live_lru(self):
+        c = LeaseCache(lease_seconds=1, capacity=3)
+        c.put("dead", 1, now_us=0)
+        c.put("live-old", 2, now_us=2_000_000)
+        c.put("live-new", 3, now_us=2_000_001)
+        # "dead" has expired by now: it must be the eviction victim even
+        # though "live-old" is the LRU entry
+        c.put("fresh", 4, now_us=2_000_002)
+        assert len(c) == 3
+        assert c.expirations == 1
+        assert c.get("live-old", 2_000_003) == 2
+        assert c.get("fresh", 2_000_003) == 4
+        assert c.get("dead", 2_000_003) is None
+
+    def test_renewed_entry_not_evicted_as_expired(self):
+        c = LeaseCache(lease_seconds=1, capacity=2)
+        c.put("a", 1, now_us=0)
+        assert c.renew("a", 900_000)
+        c.put("b", 2, now_us=1_500_000)
+        # "a" was renewed at 0.9 s: still live at 1.5 s despite the stale
+        # heap tuple from its original insertion
+        c.put("c", 3, now_us=1_600_000)  # over capacity: LRU evicts "a"...
+        assert c.expirations == 0
+        assert c.get("b", 1_600_001) == 2
+        assert c.get("c", 1_600_001) == 3
+
+    def test_invalidate_prefix_is_sublinear_at_64k_entries(self):
+        c = LeaseCache(capacity=1 << 17)
+        n = 1 << 16
+        for i in range(n):
+            c.put(f"/dirs/d{i:05d}/sub", i, 0)
+        c.invalidate_prefix("/warmup-none/")  # absorbs the one-time sort
+        c.prefix_scan_steps = 0
+        removed = c.invalidate_prefix("/dirs/d00512/")
+        assert removed == 1
+        # O(log n + hits), not O(n): a full scan would be 65536 steps
+        assert c.prefix_scan_steps <= 8
+        assert len(c) == n - 1
+
+    def test_prefix_index_survives_rename_bursts(self):
+        c = LeaseCache()
+        for p in ["/a/x", "/a/y", "/b/x", "/c/x"]:
+            c.put(p, p, 0)
+        # d-rename sequence: invalidate + invalidate_prefix, repeatedly
+        c.invalidate("/a/x")
+        assert c.invalidate_prefix("/a/") == 1
+        c.put("/a2/x", 1, 0)  # new key after the index was built
+        assert c.invalidate_prefix("/a2/") == 1
+        assert c.invalidate_prefix("/b/") == 1
+        assert c.get("/c/x", 1) == "/c/x"
