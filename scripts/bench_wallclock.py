@@ -16,6 +16,11 @@ so every PR leaves a perf trajectory behind:
 * ``namespace_build``  — build a large flat namespace (a million files at
   full scale) through the write-behind LocoFS-B client on the
   DirectEngine (batched create RPCs, group-committed server side).
+* ``obs_overhead``     — the event_fig8 workload twice, without and with
+  a streaming :class:`~repro.obs.telemetry.TelemetrySink` attached; the
+  recorded ``overhead_ratio`` (attached wall / unattached wall) is what
+  keeps telemetry honest about its "one None-check when unattached,
+  cheap when attached" contract.
 
 Usage (from the repo root):
 
@@ -29,6 +34,8 @@ recent recorded entry of the same mode and exits non-zero only on a gross
 (>``--max-regression``x) slowdown; CI uses it as a canary that tolerates
 runner noise.  ``--repeat N`` runs every benchmark N times and records the
 median-by-ops/s run, which CI uses to damp scheduler jitter.
+``--check-overhead`` additionally fails the run if ``obs_overhead``'s
+attached/unattached ratio exceeds ``--max-overhead`` (default 1.15).
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ SCALES = {
         "kv_ops": 200_000,
         "ns_dirs": 1000,
         "ns_files_per_dir": 1000,
+        "overhead_items": 100,
+        "overhead_pairs": 10,
     },
     "quick": {
         "direct_items": 60,
@@ -61,6 +70,8 @@ SCALES = {
         "kv_ops": 30_000,
         "ns_dirs": 40,
         "ns_files_per_dir": 500,
+        "overhead_items": 60,
+        "overhead_pairs": 10,
     },
 }
 
@@ -152,11 +163,78 @@ def bench_namespace_build(scale: dict) -> dict:
     return {"ops": ops, "files": dirs * files, "wall_s": wall, "ops_per_s": ops / wall}
 
 
+def bench_obs_overhead(scale: dict) -> dict:
+    """event_fig8 unattached vs telemetry-attached: the obs cost contract.
+
+    Both arms run the identical workload (virtual clocks are bit-identical
+    — telemetry never touches virtual-time arithmetic), so the wall-clock
+    ratio isolates the streaming-aggregation cost.  The arms are
+    interleaved and each arm's *best* wall time is compared: on a shared
+    CI runner the minimum is the noise-robust estimator (scheduler stalls
+    only ever add time), where a single-pair ratio can swing tens of
+    percent either way.  The sub-bench keeps its own ``overhead_items``
+    knob (larger than the quick event scale) so each arm's wall is long
+    enough that fixed per-run setup doesn't drown the signal.
+    """
+    from repro.harness.runner import run_throughput
+    from repro.obs import TelemetrySink
+
+    def one(telemetry):
+        t0 = time.perf_counter()
+        r = run_throughput(
+            "locofs-c",
+            scale["event_servers"],
+            op="touch",
+            items_per_client=scale["overhead_items"],
+            client_scale=1.0,
+            telemetry=telemetry,
+        )
+        return r, time.perf_counter() - t0
+
+    one(None)  # warm caches/allocator before either arm is timed
+    walls_plain: list[float] = []
+    walls_tele: list[float] = []
+    sink = None
+    r_plain = r_tele = None
+    for _ in range(scale["overhead_pairs"]):
+        r_plain, wall = one(None)
+        walls_plain.append(wall)
+        sink = TelemetrySink()
+        r_tele, wall = one(sink)
+        walls_tele.append(wall)
+    assert r_tele.total_ops == r_plain.total_ops
+    wall_plain = min(walls_plain)
+    wall_tele = min(walls_tele)
+    min_ratio = wall_tele / wall_plain if wall_plain > 0 else float("inf")
+    # two noise-robust estimates of the intrinsic ratio: best-vs-best, and
+    # the median of adjacent-pair ratios (each pair shares the machine's
+    # mood of that instant, so drift cancels).  Scheduler noise can only
+    # inflate either one, so the smaller is still an upper bound on the
+    # true attached/unattached cost — use it for the gate.
+    pair_ratios = sorted(t / p for t, p in zip(walls_tele, walls_plain))
+    med_ratio = pair_ratios[len(pair_ratios) // 2]
+    ratio = min(min_ratio, med_ratio)
+    return {
+        "ops": r_plain.total_ops,
+        "wall_s": wall_tele,
+        "ops_per_s": r_tele.total_ops / wall_tele,
+        "unattached_wall_s": wall_plain,
+        "unattached_ops_per_s": r_plain.total_ops / wall_plain,
+        "overhead_ratio": ratio,
+        "overhead_ratio_minwall": min_ratio,
+        "overhead_ratio_medianpair": med_ratio,
+        "pairs": scale["overhead_pairs"],
+        "telemetry_windows": sink.n_windows,
+        "telemetry_snapshot_bytes": len(json.dumps(sink.snapshot())),
+    }
+
+
 BENCHMARKS = {
     "direct_mdtest": bench_direct_mdtest,
     "event_fig8": bench_event_fig8,
     "kv_micro": bench_kv_micro,
     "namespace_build": bench_namespace_build,
+    "obs_overhead": bench_obs_overhead,
 }
 
 
@@ -246,6 +324,22 @@ def check_regression(doc: dict, entry: dict, max_regression: float) -> int:
     return 0
 
 
+def check_overhead(entry: dict, max_overhead: float) -> int:
+    """Exit status: non-zero when telemetry attachment costs too much."""
+    bench = entry["benchmarks"].get("obs_overhead")
+    if bench is None:
+        print("[bench] obs_overhead not run; skipping overhead check")
+        return 0
+    ratio = bench["overhead_ratio"]
+    print(f"[bench] obs_overhead: attached {bench['wall_s']:.2f}s vs "
+          f"unattached {bench['unattached_wall_s']:.2f}s -> {ratio:.3f}x")
+    if ratio > max_overhead:
+        print(f"[bench] FAIL: telemetry overhead above {max_overhead:.2f}x")
+        return 1
+    print("[bench] OK: overhead within budget")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--quick", action="store_true", help="smoke-test scale")
@@ -261,6 +355,12 @@ def main() -> int:
                     help="compare event_fig8 vs the latest same-mode entry in FILE")
     ap.add_argument("--max-regression", type=float, default=2.0,
                     help="fail only if slower than this factor (default 2.0)")
+    ap.add_argument("--check-overhead", action="store_true",
+                    help="fail if obs_overhead's attached/unattached ratio "
+                         "exceeds --max-overhead")
+    ap.add_argument("--max-overhead", type=float, default=1.15,
+                    help="telemetry overhead budget for --check-overhead "
+                         "(default 1.15)")
     ap.add_argument("--attribution-out", default=None, metavar="FILE",
                     help="also run a traced fig8 pass and write the "
                          "repro.obs.analyze attribution report as JSON")
@@ -288,6 +388,8 @@ def main() -> int:
     if args.check_against:
         status = check_regression(load_doc(Path(args.check_against)), entry,
                                   args.max_regression)
+    if args.check_overhead:
+        status = check_overhead(entry, args.max_overhead) or status
     if not args.no_record:
         doc["entries"].append(entry)
         out.write_text(json.dumps(doc, indent=1) + "\n")

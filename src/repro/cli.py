@@ -8,14 +8,23 @@ Usage::
     python -m repro latency locofs-c -n 4     # ad-hoc latency run
     python -m repro throughput cephfs --op touch -n 8
     python -m repro availability locofs-b --crash fms0 --check
+    python -m repro slo locofs-c --check      # SLO gate on the crash scenario
+    python -m repro dashboard locofs-nc --out dash.html   # telemetry HTML
     python -m repro trace locofs --out trace.json   # Perfetto trace of a run
     python -m repro analyze locofs-c locofs-b       # latency attribution
     python -m repro fsck-demo                 # build, corrupt, detect
 
-``--metrics`` on ``run``/``latency``/``throughput``/``trace`` prints a
-flat metrics dump (per-server request counts, queue-wait/service
-histograms, queue depth and utilization); ``--metrics-out FILE`` writes
-it as JSON.
+Every workload verb shares one observability flag group (declared once,
+inherited via an argparse parent parser): ``--metrics`` prints a flat
+metrics dump (per-server request counts, queue-wait/service histograms,
+queue depth and utilization) and ``--metrics-out FILE`` writes it as
+JSON; ``--telemetry-out FILE`` attaches a streaming
+:class:`~repro.obs.telemetry.TelemetrySink` and writes its windowed
+snapshot; ``--slo [SPEC]`` additionally evaluates SLO objectives over
+the telemetry ('default' or a spec JSON path) and prints the verdict
+table.  ``repro slo --check`` gates on that verdict with a nonzero
+exit, and ``repro dashboard --out FILE`` renders the telemetry + SLO
+state as a self-contained HTML page.
 
 ``analyze`` runs one traced workload per system and prints the per-op
 phase attribution table (see :mod:`repro.obs.analyze`); ``--json``
@@ -34,6 +43,32 @@ import sys
 _SYSTEM_ALIASES = {"locofs": "locofs-c"}
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """The shared observability flag group, declared exactly once.
+
+    Every workload verb inherits it via ``parents=[...]`` so the flags
+    spell and behave identically everywhere (they used to be re-declared
+    per verb and drifted)."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("observability")
+    g.add_argument("--metrics", action="store_true",
+                   help="print a metrics dump after the run")
+    g.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write the metrics snapshot as JSON")
+    g.add_argument("--telemetry-out", metavar="FILE", default=None,
+                   help="attach a streaming telemetry sink and write its "
+                        "windowed snapshot as JSON")
+    g.add_argument("--telemetry-window", type=float, default=None,
+                   metavar="US",
+                   help="initial telemetry window width in virtual µs "
+                        "(doubles as needed to stay bounded)")
+    g.add_argument("--slo", nargs="?", const="default", default=None,
+                   metavar="SPEC",
+                   help="evaluate SLO objectives over the run's telemetry "
+                        "('default' or a spec JSON file)")
+    return p
+
+
 def _metrics_registry(args):
     """A fresh registry when ``--metrics``/``--metrics-out`` was requested."""
     if getattr(args, "metrics", False) or getattr(args, "metrics_out", None):
@@ -41,6 +76,23 @@ def _metrics_registry(args):
 
         return MetricsRegistry()
     return None
+
+
+def _telemetry_sink(args, force: bool = False):
+    """A fresh sink when telemetry output or SLO evaluation was requested."""
+    if force or getattr(args, "telemetry_out", None) or getattr(args, "slo", None):
+        from repro.obs import TelemetrySink
+
+        return TelemetrySink(window_us=getattr(args, "telemetry_window", None))
+    return None
+
+
+def _load_spec(name: str | None):
+    from repro.obs.slo import SLOSpec, default_spec
+
+    if name is None or name == "default":
+        return default_spec()
+    return SLOSpec.from_file(name)
 
 
 def _emit_metrics(args, registry) -> None:
@@ -56,6 +108,26 @@ def _emit_metrics(args, registry) -> None:
 
         write_metrics(registry, args.metrics_out)
         print(f"metrics JSON written to {args.metrics_out}")
+
+
+def _emit_telemetry(args, sink, out: str | None = None) -> dict | None:
+    """Write the snapshot / print the SLO table; returns the SLO report."""
+    if sink is None:
+        return None
+    out = out if out is not None else args.telemetry_out
+    if out:
+        from repro.obs.export import write_telemetry
+
+        write_telemetry(sink, out)
+        print(f"telemetry snapshot written to {out}")
+    if args.slo:
+        from repro.obs.slo import evaluate_slo, format_slo
+
+        report = evaluate_slo(_load_spec(args.slo), sink)
+        print()
+        print(format_slo(report))
+        return report
+    return None
 
 
 def _cmd_list(args) -> int:
@@ -93,10 +165,15 @@ def _cmd_run(args) -> int:
             return 2
         names = [args.experiment]
     registry = _metrics_registry(args)
+    sink = _telemetry_sink(args)
     if registry is not None:
         from repro.obs import set_default_registry
 
         previous = set_default_registry(registry)
+    if sink is not None:
+        from repro.obs import set_default_telemetry
+
+        prev_sink = set_default_telemetry(sink)
     try:
         for name in names:
             mod = REGISTRY[name]
@@ -122,7 +199,10 @@ def _cmd_run(args) -> int:
     finally:
         if registry is not None:
             set_default_registry(previous)
+        if sink is not None:
+            set_default_telemetry(prev_sink)
     _emit_metrics(args, registry)
+    _emit_telemetry(args, sink)
     return 0
 
 
@@ -131,14 +211,16 @@ def _cmd_latency(args) -> int:
 
     system = _SYSTEM_ALIASES.get(args.system, args.system)
     registry = _metrics_registry(args)
+    sink = _telemetry_sink(args)
     rec = run_latency(system, args.num_servers, n_items=args.items,
-                      depth=args.depth, metrics=registry)
+                      depth=args.depth, metrics=registry, telemetry=sink)
     print(f"latency of {system} at {args.num_servers} server(s), "
           f"{args.items} items, depth {args.depth}:")
     for op in rec.ops():
         s = rec.summary(op)
         print(f"  {op:<10} mean {s.mean:9.1f} µs   p99 {s.p99:9.1f} µs")
     _emit_metrics(args, registry)
+    _emit_telemetry(args, sink)
     return 0
 
 
@@ -147,15 +229,17 @@ def _cmd_throughput(args) -> int:
 
     system = _SYSTEM_ALIASES.get(args.system, args.system)
     registry = _metrics_registry(args)
+    sink = _telemetry_sink(args)
     r = run_throughput(system, args.num_servers, op=args.op,
                        items_per_client=args.items, client_scale=args.client_scale,
-                       metrics=registry)
+                       metrics=registry, telemetry=sink)
     print(f"{system} {args.op} @ {args.num_servers} server(s): "
           f"{r.iops:,.0f} IOPS ({r.num_clients} clients, {r.total_ops} ops, "
           f"{r.elapsed_us/1e6:.3f} virtual s)")
     busiest = max(r.server_utilization.items(), key=lambda kv: kv[1])
     print(f"busiest server: {busiest[0]} at {busiest[1]:.0%} utilization")
     _emit_metrics(args, registry)
+    _emit_telemetry(args, sink)
     return 0
 
 
@@ -165,11 +249,13 @@ def _cmd_availability(args) -> int:
 
     system = _SYSTEM_ALIASES.get(args.system, args.system)
     registry = _metrics_registry(args) or MetricsRegistry()
+    sink = _telemetry_sink(args)
     r = run_availability(
         system, num_servers=args.num_servers, crash_server=args.crash,
         num_clients=args.clients, items_per_client=args.items,
         crash_at_frac=args.crash_at, down_frac=args.down,
-        torn_tail_bytes=args.torn_tail, seed=args.seed, metrics=registry)
+        torn_tail_bytes=args.torn_tail, seed=args.seed, metrics=registry,
+        telemetry=sink)
     print(f"{system} with {r.crash_server} crashed mid-run "
           f"({r.num_clients} clients, {r.num_servers} server(s)):")
     print(f"  goodput   {r.goodput_iops:,.0f} IOPS "
@@ -179,9 +265,96 @@ def _cmd_availability(args) -> int:
     print(f"  widest unavailability window: {r.unavailability_us / 1e3:,.1f} ms")
     print(f"  lost acked creates after recovery: {r.lost_acked}")
     _emit_metrics(args, registry)
+    _emit_telemetry(args, sink)
     if args.check and r.lost_acked:
         print("FAIL: acked creates were lost across the crash", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    """Run the fig16-style crash scenario under telemetry, judge the SLOs."""
+    import json
+
+    from repro.harness import SYSTEM_NAMES, run_availability
+    from repro.obs.slo import evaluate_slo, format_slo
+
+    system = _SYSTEM_ALIASES.get(args.system, args.system)
+    if system not in SYSTEM_NAMES:
+        print(f"unknown system {args.system!r}; try 'list'", file=sys.stderr)
+        return 2
+    registry = _metrics_registry(args)
+    sink = _telemetry_sink(args, force=True)
+    r = run_availability(
+        system, num_servers=args.num_servers, crash_server=args.crash,
+        num_clients=args.clients, items_per_client=args.items,
+        crash_at_frac=args.crash_at, down_frac=args.down, seed=args.seed,
+        metrics=registry, telemetry=sink)
+    print(f"{system} with {r.crash_server} crashed mid-run: "
+          f"goodput {r.goodput_iops:,.0f} IOPS "
+          f"(baseline {r.baseline_iops:,.0f}), "
+          f"retries {r.retries}, gaveups {r.gaveups}")
+    spec = _load_spec(args.slo)
+    report = evaluate_slo(spec, sink)
+    print(format_slo(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=1)
+        print(f"SLO report written to {args.json}")
+    _emit_metrics(args, registry)
+    if args.telemetry_out:
+        from repro.obs.export import write_telemetry
+
+        write_telemetry(sink, args.telemetry_out)
+        print(f"telemetry snapshot written to {args.telemetry_out}")
+    if args.check and not report["ok"]:
+        print("FAIL: SLO error budget exhausted", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    """Run a scenario under telemetry and render the self-contained HTML."""
+    from repro.harness import SYSTEM_NAMES, run_availability, run_throughput
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.slo import evaluate_slo
+
+    system = _SYSTEM_ALIASES.get(args.system, args.system)
+    if system not in SYSTEM_NAMES:
+        print(f"unknown system {args.system!r}; try 'list'", file=sys.stderr)
+        return 2
+    registry = _metrics_registry(args)
+    sink = _telemetry_sink(args, force=True)
+    meta = {"system": system, "scenario": args.scenario,
+            "servers": args.num_servers}
+    if args.scenario == "crash":
+        r = run_availability(
+            system, num_servers=args.num_servers, crash_server=args.crash,
+            num_clients=args.clients, items_per_client=args.items,
+            crash_at_frac=args.crash_at, down_frac=args.down, seed=args.seed,
+            metrics=registry, telemetry=sink)
+        meta["crash"] = args.crash
+        print(f"{system} crash scenario: goodput {r.goodput_iops:,.0f} IOPS "
+              f"(baseline {r.baseline_iops:,.0f})")
+    else:
+        r = run_throughput(system, args.num_servers, op=args.op,
+                           items_per_client=args.items,
+                           client_scale=args.client_scale,
+                           metrics=registry, telemetry=sink)
+        meta["op"] = args.op
+        print(f"{system} {args.op}: {r.iops:,.0f} IOPS "
+              f"({r.num_clients} clients)")
+    spec = _load_spec(args.slo)
+    report = evaluate_slo(spec, sink)
+    write_dashboard(args.out, sink, report, spec, meta=meta)
+    print(f"dashboard written to {args.out} (self-contained HTML, "
+          f"open with any browser — no network needed)")
+    _emit_metrics(args, registry)
+    if args.telemetry_out:
+        from repro.obs.export import write_telemetry
+
+        write_telemetry(sink, args.telemetry_out)
+        print(f"telemetry snapshot written to {args.telemetry_out}")
     return 0
 
 
@@ -196,15 +369,17 @@ def _cmd_trace(args) -> int:
         return 2
     tracer = Tracer()
     registry = _metrics_registry(args) or MetricsRegistry()
+    sink = _telemetry_sink(args)
     if args.engine == "event":
         r = run_throughput(system, args.num_servers, op=args.op,
                            items_per_client=args.items, client_scale=0.15,
-                           tracer=tracer, metrics=registry)
+                           tracer=tracer, metrics=registry, telemetry=sink)
         print(f"traced {r.total_ops} measured {args.op} ops on the event engine "
               f"({r.num_clients} clients, {r.elapsed_us/1e6:.3f} virtual s)")
     else:
         rec = run_latency(system, args.num_servers, n_items=args.items,
-                          depth=args.depth, tracer=tracer, metrics=registry)
+                          depth=args.depth, tracer=tracer, metrics=registry,
+                          telemetry=sink)
         total = sum(rec.count(op) for op in rec.ops())
         print(f"traced {total} ops across {len(rec.ops())} mdtest phases "
               f"on the direct engine")
@@ -212,6 +387,7 @@ def _cmd_trace(args) -> int:
     print(f"{n} trace events written to {args.out}")
     print("open in https://ui.perfetto.dev (or chrome://tracing) to inspect")
     _emit_metrics(args, registry)
+    _emit_telemetry(args, sink)
     return 0
 
 
@@ -237,6 +413,9 @@ def _cmd_analyze(args) -> int:
     for system in systems:
         tracer = Tracer()
         registry = MetricsRegistry()
+        # one fresh sink per system, so telemetry never mixes systems;
+        # with a sink attached the report's heat section is telemetry-backed
+        sink = _telemetry_sink(args)
         meta = {"system": system, "engine": args.engine,
                 "servers": args.num_servers, "items": args.items}
         if args.engine == "event":
@@ -244,16 +423,24 @@ def _cmd_analyze(args) -> int:
             r = run_throughput(system, args.num_servers, op=args.op,
                                items_per_client=args.items,
                                client_scale=args.client_scale,
-                               tracer=tracer, metrics=registry)
+                               tracer=tracer, metrics=registry, telemetry=sink)
             print(f"analyzed {r.total_ops} measured {args.op} ops on {system} "
                   f"({r.num_clients} clients, {r.elapsed_us / 1e6:.3f} virtual s)")
         else:
             rec = run_latency(system, args.num_servers, n_items=args.items,
-                              depth=args.depth, tracer=tracer, metrics=registry)
+                              depth=args.depth, tracer=tracer, metrics=registry,
+                              telemetry=sink)
             total = sum(rec.count(op) for op in rec.ops())
             print(f"analyzed {total} mdtest ops on {system} (direct engine)")
-        report = attribution_report(tracer, meta=meta, window_us=args.window_us)
+        report = attribution_report(tracer, meta=meta, window_us=args.window_us,
+                                    telemetry=sink)
         reports[system] = report
+        if sink is not None:
+            out = args.telemetry_out
+            if out and len(systems) > 1:
+                stem, dot, ext = out.rpartition(".")
+                out = f"{stem}.{system}.{ext}" if dot else f"{out}.{system}"
+            _emit_telemetry(args, sink, out=out)
         print(format_attribution(report))
         print()
         if args.trace_out:
@@ -328,34 +515,30 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="list experiments and systems")
 
-    def add_metrics_flags(p):
-        p.add_argument("--metrics", action="store_true",
-                       help="print a metrics dump after the run")
-        p.add_argument("--metrics-out", metavar="FILE", default=None,
-                       help="write the metrics snapshot as JSON")
+    obs = _obs_parent()
 
-    p = sub.add_parser("run", help="run an experiment (or 'all')")
+    p = sub.add_parser("run", help="run an experiment (or 'all')", parents=[obs])
     p.add_argument("experiment")
     p.add_argument("--quick", action="store_true", help="tiny scales for a smoke pass")
-    add_metrics_flags(p)
 
-    p = sub.add_parser("latency", help="single-client latency of one system")
+    p = sub.add_parser("latency", help="single-client latency of one system",
+                       parents=[obs])
     p.add_argument("system")
     p.add_argument("-n", "--num-servers", type=int, default=4)
     p.add_argument("--items", type=int, default=50)
     p.add_argument("--depth", type=int, default=1)
-    add_metrics_flags(p)
 
-    p = sub.add_parser("throughput", help="closed-loop throughput of one system")
+    p = sub.add_parser("throughput", help="closed-loop throughput of one system",
+                       parents=[obs])
     p.add_argument("system")
     p.add_argument("-n", "--num-servers", type=int, default=4)
     p.add_argument("--op", default="touch")
     p.add_argument("--items", type=int, default=30)
     p.add_argument("--client-scale", type=float, default=0.5)
-    add_metrics_flags(p)
 
     p = sub.add_parser(
-        "availability", help="crash/recover one server mid-run, report goodput")
+        "availability", help="crash/recover one server mid-run, report goodput",
+        parents=[obs])
     p.add_argument("system", help="system name ('locofs' = locofs-c)")
     p.add_argument("-n", "--num-servers", type=int, default=4)
     p.add_argument("--crash", default="fms0", metavar="SERVER",
@@ -371,9 +554,45 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--check", action="store_true",
                    help="exit 1 if any acked create is lost (CI smoke)")
-    add_metrics_flags(p)
 
-    p = sub.add_parser("trace", help="trace a run, export Chrome/Perfetto JSON")
+    p = sub.add_parser("slo", help="run a crash scenario, judge SLO objectives",
+                       parents=[obs])
+    p.add_argument("system", help="system name ('locofs' = locofs-c)")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--crash", default="dms", metavar="SERVER",
+                   help="server to crash (default: dms, the fig16 worst case)")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--items", type=int, default=40)
+    p.add_argument("--crash-at", type=float, default=0.3, metavar="FRAC")
+    p.add_argument("--down", type=float, default=0.2, metavar="FRAC")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the SLO report as JSON")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 when any error budget is exhausted (CI gate)")
+
+    p = sub.add_parser(
+        "dashboard", help="run a scenario, write a self-contained HTML dashboard",
+        parents=[obs])
+    p.add_argument("system", help="system name ('locofs' = locofs-c)")
+    p.add_argument("--out", required=True, metavar="FILE",
+                   help="path for the HTML dashboard")
+    p.add_argument("--scenario", choices=("crash", "throughput"),
+                   default="crash",
+                   help="crash = fig16-style faulted run (default); "
+                        "throughput = clean closed-loop run")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--items", type=int, default=40)
+    p.add_argument("--op", default="touch", help="measured op for --scenario throughput")
+    p.add_argument("--client-scale", type=float, default=0.5)
+    p.add_argument("--crash", default="dms", metavar="SERVER")
+    p.add_argument("--crash-at", type=float, default=0.3, metavar="FRAC")
+    p.add_argument("--down", type=float, default=0.2, metavar="FRAC")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("trace", help="trace a run, export Chrome/Perfetto JSON",
+                       parents=[obs])
     p.add_argument("system", help="system name ('locofs' = locofs-c)")
     p.add_argument("--out", required=True, metavar="FILE",
                    help="path for the trace-event JSON")
@@ -383,10 +602,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--items", type=int, default=10)
     p.add_argument("--depth", type=int, default=1)
     p.add_argument("--op", default="touch", help="measured op for --engine event")
-    add_metrics_flags(p)
 
     p = sub.add_parser(
-        "analyze", help="per-phase latency attribution of traced runs")
+        "analyze", help="per-phase latency attribution of traced runs",
+        parents=[obs])
     p.add_argument("systems", nargs="+",
                    help="system name(s) from the registry ('locofs' = locofs-c)")
     p.add_argument("--engine", choices=("direct", "event"), default="event",
@@ -421,6 +640,8 @@ def main(argv: list[str] | None = None) -> int:
         "latency": _cmd_latency,
         "throughput": _cmd_throughput,
         "availability": _cmd_availability,
+        "slo": _cmd_slo,
+        "dashboard": _cmd_dashboard,
         "trace": _cmd_trace,
         "analyze": _cmd_analyze,
         "fsck-demo": _cmd_fsck_demo,

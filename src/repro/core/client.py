@@ -88,7 +88,7 @@ class LocoClient(FSClientBase):
     def _g_dir(self, path: str) -> Generator:
         """Resolve a directory's d-inode, via the lease cache when enabled."""
         path = pathutil.normalize(path)
-        observed = self._obs_active
+        observed = self._obs_detailed
         if self.cache_enabled:
             hit = self.dcache.get(path, self.now_us)
             if hit is not None:
@@ -671,7 +671,7 @@ class BatchingLocoClient(LocoClient):
         pend.lease_paths.add(info["path"])
         pend.nbytes += _CREATE_WIRE_BASE + len(name)
         self._dirty[key] = server
-        if self._obs_active:
+        if self._obs_detailed:
             # remember this op's open span so the flush links it to the
             # batch round trip that eventually carries the create
             origin = yield SpanCapture()

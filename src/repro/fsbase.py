@@ -17,6 +17,19 @@ from collections.abc import Generator
 from repro.common.types import Credentials, DirEntry, ROOT_CRED, StatResult
 from repro.sim.rpc import SpanBegin, SpanEnd
 
+#: op -> "client.<op>" span names, built once (op_generator is the hot path)
+_SPAN_NAMES: dict = {}
+
+#: the success-path SpanEnd, shared (commands are read-only to the engines)
+_SPAN_END = SpanEnd()
+
+
+def _span_name(op: str) -> str:
+    name = _SPAN_NAMES.get(op)
+    if name is None:
+        name = _SPAN_NAMES[op] = "client." + op
+    return name
+
 
 class FSClientBase:
     """Engine-driven file-system client."""
@@ -50,6 +63,10 @@ class FSClientBase:
         #: op name -> bound ``_g_<op>`` method, filled lazily; saves a
         #: getattr + string concat per operation on the harness hot path
         self._op_methods: dict = {}
+        #: the object carrying the plain-attribute virtual clock ``now``:
+        #: the event engine keeps it on its simulator, the direct engine on
+        #: itself — resolved once so per-op brackets skip the property
+        self._clock = getattr(engine, "sim", engine)
 
     # -- engine plumbing ---------------------------------------------------------
     def _run(self, gen: Generator):
@@ -65,11 +82,27 @@ class FSClientBase:
 
     @property
     def _obs_active(self) -> bool:
-        """True when the engine has a tracer or metrics registry attached."""
+        """True when the engine has any observability sink attached."""
+        engine = self._engine
+        try:
+            return (engine.tracer is not None or engine.metrics is not None
+                    or engine.telemetry is not None)
+        except AttributeError:  # engines without observability hooks
+            return False
+
+    @property
+    def _obs_detailed(self) -> bool:
+        """True when a tracer or metrics registry wants per-event detail.
+
+        Hot-path niceties (cache hit/miss marks, span captures for batch
+        links) are worth an engine round trip only for these sinks; a
+        telemetry-only attachment keeps the hot path lean and still gets
+        its aggregates from the op/RPC completion hooks.
+        """
         engine = self._engine
         try:
             return engine.tracer is not None or engine.metrics is not None
-        except AttributeError:  # engines without observability hooks
+        except AttributeError:
             return False
 
     def op_generator(self, op: str, *args, **kwargs) -> Generator:
@@ -80,22 +113,97 @@ class FSClientBase:
                 raise ValueError(f"unknown operation {op!r}")
             fn = self._op_methods[op] = getattr(self, "_g_" + op)
         gen = fn(*args, **kwargs)
-        if not self._obs_active:
+        engine = self._engine
+        try:
+            tracer = engine.tracer
+            metrics = engine.metrics
+            telemetry = engine.telemetry
+        except AttributeError:  # engines without observability hooks
             return gen
+        if tracer is None and metrics is None:
+            if telemetry is None:
+                return gen
+            return self._g_telemetry(op, telemetry, gen)
         return self._g_traced(op, args, gen)
+
+    def op_raw(self, op: str, *args, **kwargs) -> Generator:
+        """The bare ``_g_<op>`` generator, no observability bracket.
+
+        For driver loops that hoist the telemetry bracket out of the
+        per-op path (see :meth:`op_bracket`); everyone else wants
+        :meth:`op_generator`.
+        """
+        fn = self._op_methods.get(op)
+        if fn is None:
+            if op not in self._GENERATOR_OP_SET:
+                raise ValueError(f"unknown operation {op!r}")
+            fn = self._op_methods[op] = getattr(self, "_g_" + op)
+        return fn(*args, **kwargs)
+
+    def op_bracket(self):
+        """``(telemetry, clock)`` when a hoisted bracket applies, else ``(None, None)``.
+
+        A tight driver loop (the throughput harness) that issues many ops
+        back-to-back can skip the per-op wrapper generator entirely: when
+        this returns a sink, drive :meth:`op_raw` and surround each op with
+        ``telemetry.op_complete(name, t0, clock.now)`` directly — the same
+        feed :meth:`op_generator` would produce, minus a generator frame
+        per op.  Returns ``(None, None)`` when a tracer or metrics registry
+        is attached (spans must flow) or when nothing is attached.
+        """
+        engine = self._engine
+        try:
+            tracer = engine.tracer
+            metrics = engine.metrics
+            telemetry = engine.telemetry
+        except AttributeError:  # engines without observability hooks
+            return None, None
+        if tracer is None and metrics is None and telemetry is not None:
+            return telemetry, self._clock
+        return None, None
+
+    def _g_telemetry(self, op: str, telemetry,
+                     gen: Generator) -> Generator:
+        """Telemetry-only bracket: the span-close hook without the spans.
+
+        With no tracer and no metrics attached, SpanBegin/SpanEnd commands
+        would travel through the engine just to be folded into one
+        ``op_complete`` call at the close — so this wrapper makes that
+        call directly and yields no span commands at all, which keeps the
+        attached-run overhead within the benchmarked budget (see
+        ``scripts/bench_wallclock.py`` obs_overhead).
+        """
+        name = _span_name(op)
+        clock = self._clock
+        t0 = clock.now
+        try:
+            result = yield from gen
+        except GeneratorExit:  # closing, not failing: nothing to report
+            raise
+        except BaseException as exc:
+            telemetry.op_complete(name, t0, clock.now, type(exc).__name__)
+            raise
+        telemetry.op_complete(name, t0, clock.now)
+        return result
 
     def _g_traced(self, op: str, args: tuple, gen: Generator) -> Generator:
         """Bracket one operation in a ``client.<op>`` span.
 
-        The ``finally`` yields SpanEnd even when the operation raises, so a
-        failed op still closes its span at the time the error surfaced.
+        A failing op still closes its span at the time the error surfaced,
+        with the failure class carried on the SpanEnd so telemetry counts
+        it as an error for the op class rather than a completion.
         """
         detail = {"path": args[0]} if args and isinstance(args[0], str) else {}
-        yield SpanBegin(f"client.{op}", "op", detail)
+        yield SpanBegin(_span_name(op), "op", detail)
         try:
-            return (yield from gen)
-        finally:
-            yield SpanEnd()
+            result = yield from gen
+        except GeneratorExit:  # closing, not failing: nothing to report
+            raise
+        except BaseException as exc:
+            yield SpanEnd(error=type(exc).__name__)
+            raise
+        yield _SPAN_END
+        return result
 
     # -- public API -----------------------------------------------------------------
     def mkdir(self, path: str, mode: int = 0o755) -> None:

@@ -60,22 +60,27 @@ def run_latency(
     ops: tuple[str, ...] = LATENCY_OPS,
     tracer=None,
     metrics=None,
+    telemetry=None,
 ) -> LatencyRecorder:
     """Run the mdtest latency phases; returns per-op latency samples (µs).
 
-    ``tracer``/``metrics`` (see :mod:`repro.obs`) opt the run into span
-    tracing and bounded metrics; with neither (and no default registry set)
-    nothing is recorded beyond the exact samples.
+    ``tracer``/``metrics``/``telemetry`` (see :mod:`repro.obs`) opt the
+    run into span tracing, bounded metrics, and streaming windowed
+    telemetry; with none (and no process-wide defaults set) nothing is
+    recorded beyond the exact samples.
     """
-    from repro.obs import get_default_registry
+    from repro.obs import get_default_registry, get_default_telemetry
 
     cost = cost or CostModel()
     if metrics is None:
         metrics = get_default_registry()
+    if telemetry is None:
+        telemetry = get_default_telemetry()
     system = make_system(system_name, num_servers, cost=cost, engine_kind="direct")
     engine = system.engine
-    if tracer is not None or metrics is not None:
-        engine.attach_observability(tracer=tracer, metrics=metrics)
+    if tracer is not None or metrics is not None or telemetry is not None:
+        engine.attach_observability(tracer=tracer, metrics=metrics,
+                                    telemetry=telemetry)
     client = system.client()
     wl = Workload(items_per_client=n_items, depth=depth)
     rec = LatencyRecorder(registry=metrics, prefix=f"client.op.{system_name}.")

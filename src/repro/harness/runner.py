@@ -64,10 +64,33 @@ def _setup_gen(client, wl: Workload, cid: int, op: str):
 def _measured_gen(client, wl: Workload, cid: int, op: str, cost: CostModel, box: dict):
     # one shared LocalCharge: commands are read-only to the engines
     overhead = LocalCharge(cost.client_overhead_us)
-    for n in range(wl.items_per_client):
-        yield overhead
-        yield from client.op_generator(*_op_call(op, wl, cid, n))
-        box["ops"] += 1
+    bracket = getattr(client, "op_bracket", None)
+    telemetry = clock = None
+    if bracket is not None:
+        telemetry, clock = bracket()
+    if telemetry is not None:
+        # telemetry-only run: hoist the op bracket out of op_generator —
+        # the same op_complete feed, without a wrapper frame per op
+        op_raw = client.op_raw
+        op_complete = telemetry.op_complete
+        name = "client." + _op_call(op, wl, cid, 0)[0]
+        for n in range(wl.items_per_client):
+            yield overhead
+            t0 = clock.now
+            try:
+                yield from op_raw(*_op_call(op, wl, cid, n))
+            except GeneratorExit:
+                raise
+            except BaseException as exc:
+                op_complete(name, t0, clock.now, type(exc).__name__)
+                raise
+            op_complete(name, t0, clock.now)
+            box["ops"] += 1
+    else:
+        for n in range(wl.items_per_client):
+            yield overhead
+            yield from client.op_generator(*_op_call(op, wl, cid, n))
+            box["ops"] += 1
     yield from _drain_writebehind(client)
 
 
@@ -99,6 +122,7 @@ def run_throughput(
     client_scale: float = 1.0,
     tracer=None,
     metrics=None,
+    telemetry=None,
     system_factory=None,
 ) -> ThroughputResult:
     """One throughput cell: (system, op, #servers) -> aggregate IOPS.
@@ -112,11 +136,13 @@ def run_throughput(
     event-engine deployment); ``system_name`` then only labels the result
     — fig15 uses this to sweep non-default batch budgets.
     """
-    from repro.obs import get_default_registry
+    from repro.obs import get_default_registry, get_default_telemetry
 
     cost = cost or CostModel()
     if metrics is None:
         metrics = get_default_registry()
+    if telemetry is None:
+        telemetry = get_default_telemetry()
     if num_clients is None:
         num_clients = clients_for(system_name, num_servers, scale=client_scale)
     if system_factory is not None:
@@ -124,8 +150,9 @@ def run_throughput(
     else:
         system = make_system(system_name, num_servers, cost=cost, engine_kind="event")
     engine = system.engine
-    if tracer is not None or metrics is not None:
-        engine.attach_observability(tracer=tracer, metrics=metrics)
+    if tracer is not None or metrics is not None or telemetry is not None:
+        engine.attach_observability(tracer=tracer, metrics=metrics,
+                                    telemetry=telemetry)
     wl = Workload(items_per_client=items_per_client, depth=depth)
     rawkv = system_name == "rawkv"
 

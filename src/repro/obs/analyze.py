@@ -240,7 +240,7 @@ def link_summary(tracer: Tracer) -> dict:
 
 
 def heat_timelines(tracer: Tracer, window_us: float | None = None,
-                   max_windows: int = 120) -> dict:
+                   max_windows: int = 120, telemetry=None) -> dict:
     """Windowed per-server busy-fraction and queue-pressure series.
 
     ``busy[i]`` is the fraction of window ``i`` covered by ``serve``
@@ -248,7 +248,15 @@ def heat_timelines(tracer: Tracer, window_us: float | None = None,
     waiting (summed ``queue``-span overlap divided by the window).  With
     no explicit ``window_us`` the horizon is split into at most
     ``max_windows`` equal windows.
+
+    When a streaming :class:`~repro.obs.telemetry.TelemetrySink` is
+    passed, its windowed aggregates are returned instead — same output
+    shape, no span retention required — which is the path long runs use
+    (the sink's own ring decides the window width).  The span-walking
+    code below remains the fallback for tracer-only runs.
     """
+    if telemetry is not None:
+        return telemetry.heat_timelines()
     serve_by: dict[str, list[Span]] = defaultdict(list)
     queue_by: dict[str, list[Span]] = defaultdict(list)
     horizon = 0.0
@@ -317,14 +325,18 @@ def fault_summary(tracer: Tracer) -> dict:
 
 
 def attribution_report(tracer: Tracer, meta: dict | None = None,
-                       window_us: float | None = None) -> dict:
-    """The full JSON report: attribution + link audit + heat timelines."""
+                       window_us: float | None = None,
+                       telemetry=None) -> dict:
+    """The full JSON report: attribution + link audit + heat timelines.
+
+    With a ``telemetry`` sink the heat section comes from its streaming
+    windows instead of re-walking the retained spans."""
     report = {
         "schema": 1,
         "meta": dict(meta or {}),
         "ops": analyze_ops(tracer),
         "links": link_summary(tracer),
-        "heat": heat_timelines(tracer, window_us),
+        "heat": heat_timelines(tracer, window_us, telemetry=telemetry),
     }
     faults = fault_summary(tracer)
     if faults:

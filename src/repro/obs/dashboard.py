@@ -1,0 +1,273 @@
+"""Self-contained HTML dashboard over telemetry + SLO data.
+
+:func:`render_dashboard` embeds one JSON document (the telemetry
+snapshot, the SLO report, and optional run metadata) into a single HTML
+file whose inline vanilla-JS renders SVG charts client-side:
+
+* per-op throughput timeline (ops/s per window),
+* latency percentile lanes (p50/p95/p99 per window for the busiest ops),
+* SLO burn-rate strips (one lane per objective, colored by burn),
+* per-server heat lanes (busy fraction as color, queue depth as text).
+
+No network access, no external scripts, no fonts, no CSS frameworks —
+the file renders from ``file://`` on an air-gapped machine, which is the
+deliverable CI archives for every smoke run.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+
+from .slo import burn_timeline
+from .telemetry import TelemetrySink
+
+_CSS = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #10141a; color: #d7dde5; margin: 24px; }
+h1 { font-size: 18px; } h2 { font-size: 14px; margin: 24px 0 6px; }
+.meta { color: #8a93a0; font-size: 12px; }
+svg { background: #171c24; border: 1px solid #2a3240; border-radius: 4px; }
+.lane-label { font-size: 10px; fill: #8a93a0; }
+.axis { font-size: 9px; fill: #626b78; }
+table { border-collapse: collapse; font-size: 12px; }
+td, th { border: 1px solid #2a3240; padding: 3px 8px; text-align: right; }
+th { background: #1c222c; }
+td.name, th.name { text-align: left; }
+.pass { color: #6ecf8a; } .fail { color: #ef6a6a; }
+"""
+
+_JS = """
+'use strict';
+const D = JSON.parse(document.getElementById('data').textContent);
+const W = 900, PAD = 64;
+const fmt = (v) => v >= 1e6 ? (v / 1e6).toFixed(1) + 'M'
+  : v >= 1e3 ? (v / 1e3).toFixed(1) + 'k' : (+v.toFixed(2)).toString();
+const PALETTE = ['#5aa9e6', '#f2c14e', '#7bd389', '#e97fb2',
+                 '#b58cf2', '#f2845c', '#62d3c8', '#aab4c0'];
+function svgEl(w, h) {
+  const s = document.createElementNS('http://www.w3.org/2000/svg', 'svg');
+  s.setAttribute('width', w); s.setAttribute('height', h);
+  return s;
+}
+function el(svg, tag, attrs, text) {
+  const e = document.createElementNS('http://www.w3.org/2000/svg', tag);
+  for (const k in attrs) e.setAttribute(k, attrs[k]);
+  if (text !== undefined) e.textContent = text;
+  svg.appendChild(e); return e;
+}
+function polyline(svg, pts, color) {
+  el(svg, 'polyline', {points: pts.map(p => p.join(',')).join(' '),
+    fill: 'none', stroke: color, 'stroke-width': 1.5});
+}
+// heat color: 0 -> dark, 1 -> hot
+function heat(v) {
+  const t = Math.max(0, Math.min(1, v));
+  const r = Math.round(30 + 215 * t);
+  const g = Math.round(40 + 120 * (1 - Math.abs(t - 0.5) * 2));
+  const b = Math.round(60 * (1 - t) + 20);
+  return `rgb(${r},${g},${b})`;
+}
+// burn color: <1 green, 1..5 amber ramp, >5 red
+function burnColor(v) {
+  if (v <= 0) return '#1d2430';
+  if (v < 1) return '#2e5d3e';
+  if (v < 5) return '#b8862e';
+  return '#c23b3b';
+}
+
+function timeline(containerId, series, unit) {
+  const names = Object.keys(series);
+  if (!names.length) return;
+  const n = Math.max(...names.map(k => series[k].length));
+  const H = 180, plotW = W - PAD - 10, plotH = H - 30;
+  let max = 0;
+  names.forEach(k => series[k].forEach(v => { if (v > max) max = v; }));
+  if (max <= 0) max = 1;
+  const svg = svgEl(W, H + 16 * names.length);
+  for (let g = 0; g <= 4; g++) {
+    const y = 8 + plotH - plotH * g / 4;
+    el(svg, 'line', {x1: PAD, x2: PAD + plotW, y1: y, y2: y,
+      stroke: '#222a36', 'stroke-width': 1});
+    el(svg, 'text', {x: PAD - 6, y: y + 3, 'text-anchor': 'end',
+      class: 'axis'}, fmt(max * g / 4) + (unit || ''));
+  }
+  names.forEach((k, i) => {
+    const pts = series[k].map((v, j) => [
+      PAD + plotW * (n > 1 ? j / (n - 1) : 0),
+      8 + plotH - plotH * v / max]);
+    polyline(svg, pts, PALETTE[i % PALETTE.length]);
+    el(svg, 'rect', {x: PAD, y: H + 16 * i, width: 10, height: 10,
+      fill: PALETTE[i % PALETTE.length]});
+    el(svg, 'text', {x: PAD + 16, y: H + 16 * i + 9,
+      class: 'lane-label'}, k);
+  });
+  el(svg, 'text', {x: PAD + plotW, y: H - 6, 'text-anchor': 'end',
+    class: 'axis'}, `virtual time -> ${fmt(D.telemetry.n_windows * D.telemetry.window_us / 1e6)}s`);
+  document.getElementById(containerId).appendChild(svg);
+}
+
+function lanes(containerId, rows, colorFn, labelFn) {
+  const names = Object.keys(rows);
+  if (!names.length) return;
+  const laneH = 22, plotW = W - PAD - 10;
+  const svg = svgEl(W, laneH * names.length + 18);
+  names.forEach((name, i) => {
+    const vals = rows[name];
+    const y = 4 + i * laneH;
+    el(svg, 'text', {x: PAD - 6, y: y + 13, 'text-anchor': 'end',
+      class: 'lane-label'}, name);
+    const cw = plotW / Math.max(1, vals.length);
+    vals.forEach((v, j) => {
+      el(svg, 'rect', {x: PAD + j * cw, y: y, width: Math.max(1, cw - 0.5),
+        height: laneH - 6, fill: colorFn(v)});
+    });
+    if (labelFn) el(svg, 'text', {x: PAD + plotW + 4, y: y + 13,
+      class: 'lane-label'}, labelFn(vals));
+  });
+  document.getElementById(containerId).appendChild(svg);
+}
+
+// throughput: ops/s per window per op type
+const winS = D.telemetry.window_us / 1e6;
+const nWin = D.telemetry.n_windows;
+const thr = {};
+(D.telemetry.windows || []).forEach(w => {
+  for (const op in (w.ops || {})) {
+    if (!thr[op]) thr[op] = new Array(nWin).fill(0);
+    thr[op][w.i] = w.ops[op] / winS;
+  }
+});
+timeline('throughput', thr, '');
+
+// latency percentiles per window for the busiest op
+const counts = {};
+(D.telemetry.windows || []).forEach(w => {
+  for (const op in (w.latency || {}))
+    counts[op] = (counts[op] || 0) + w.latency[op].count;
+});
+const busiest = Object.keys(counts).sort((a, b) => counts[b] - counts[a])[0];
+if (busiest) {
+  const lat = {};
+  ['p50', 'p95', 'p99'].forEach(q => lat[busiest + ' ' + q] = new Array(nWin).fill(0));
+  (D.telemetry.windows || []).forEach(w => {
+    const l = (w.latency || {})[busiest];
+    if (l) ['p50', 'p95', 'p99'].forEach(q => lat[busiest + ' ' + q][w.i] = l[q]);
+  });
+  timeline('latency', lat, 'µs');
+}
+
+// SLO burn strips
+if (D.slo && D.slo.burn_timelines) {
+  lanes('burn', D.slo.burn_timelines, burnColor,
+    vals => 'max ' + fmt(Math.max(0, ...vals)));
+}
+
+// per-server heat lanes (busy fraction), queue depth as right label
+const heatRows = {}, depthRows = {};
+const hs = (D.telemetry.heat || {}).servers || {};
+for (const s in hs) { heatRows[s] = hs[s].busy; depthRows[s] = hs[s].queue_depth; }
+lanes('heat', heatRows, heat,
+  vals => 'peak ' + (Math.max(0, ...vals) * 100).toFixed(0) + '% busy');
+lanes('depth', depthRows,
+  v => heat(Math.min(1, v / 8)),
+  vals => 'peak depth ' + fmt(Math.max(0, ...vals)));
+"""
+
+
+def _clean(value):
+    """NaN/inf (empty-aggregate artifacts) -> null; JSON.parse rejects them."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    return value
+
+
+def _slo_table(report: dict | None) -> str:
+    if not report:
+        return "<p class='meta'>no SLO report attached</p>"
+    rows = []
+    for o in report["objectives"]:
+        cls = "pass" if o["ok"] else "fail"
+        verdict = "PASS" if o["ok"] else "FAIL"
+        if o.get("no_data"):
+            verdict += " (no data)"
+        good = o["good_fraction"]
+        good_s = f"{good * 100:.3f}%" if good == good else "--"
+        rows.append(
+            "<tr><td class='name'>{}</td><td>{:.2f}%</td><td>{}</td>"
+            "<td>{:.0f}</td><td>{:.2f}</td><td>{:.3f}</td>"
+            "<td>{:.2f}</td><td>{:.2f}</td><td>{:.2f}</td>"
+            "<td class='{}'>{}</td></tr>".format(
+                html.escape(o["objective"]), o["target"] * 100, good_s,
+                o["total"], o["budget"], o["budget_consumed"],
+                o["burn"]["overall"], o["burn"]["slow"], o["burn"]["fast"],
+                cls, verdict))
+    status = ("<span class='pass'>PASS</span>" if report["ok"]
+              else "<span class='fail'>FAIL</span>")
+    return (
+        f"<p>spec <b>{html.escape(report['spec'])}</b> over "
+        f"{report['horizon_us'] / 1e6:.3f}s virtual — verdict {status}</p>"
+        "<table><tr><th class='name'>objective</th><th>target</th>"
+        "<th>good</th><th>events</th><th>budget</th><th>consumed</th>"
+        "<th>burn</th><th>burn(slow)</th><th>burn(fast)</th>"
+        "<th>verdict</th></tr>" + "".join(rows) + "</table>")
+
+
+def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
+                     slo_spec=None, meta: dict | None = None) -> str:
+    """Render one self-contained HTML page from a telemetry sink.
+
+    ``slo_report`` is an :func:`repro.obs.slo.evaluate_slo` result;
+    passing ``slo_spec`` as well adds per-objective burn strips.  ``meta``
+    is free-form run metadata shown in the header (system, scenario, ...).
+    """
+    snap = sink.snapshot()
+    slo_doc = dict(slo_report) if slo_report else None
+    if slo_doc is not None and slo_spec is not None:
+        slo_doc["burn_timelines"] = {
+            obj.name: burn_timeline(obj, sink) for obj in slo_spec.objectives}
+    data = _clean({"telemetry": snap, "slo": slo_doc, "meta": meta or {}})
+    # </script> inside a JSON string would end the data block early
+    payload = json.dumps(data, allow_nan=False).replace("</", "<\\/")
+    title = "repro telemetry dashboard"
+    meta_bits = " · ".join(f"{html.escape(str(k))}={html.escape(str(v))}"
+                           for k, v in (meta or {}).items())
+    totals = snap["totals"]
+    n_ops = sum(totals["ops"].values())
+    n_err = sum(totals["errors"].values())
+    head = (f"{n_ops} ops, {n_err} errors over "
+            f"{snap['n_windows']} × {snap['window_us'] / 1e3:.3g}ms windows")
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{title}</title>
+<style>{_CSS}</style></head>
+<body>
+<h1>{title}</h1>
+<p class="meta">{html.escape(head)}{" · " + meta_bits if meta_bits else ""}</p>
+<h2>SLO verdicts</h2>
+{_slo_table(slo_doc)}
+<h2>SLO burn strips (per window)</h2>
+<div id="burn"></div>
+<h2>Throughput (ops/s per window)</h2>
+<div id="throughput"></div>
+<h2>Latency percentiles (busiest op)</h2>
+<div id="latency"></div>
+<h2>Per-server busy fraction</h2>
+<div id="heat"></div>
+<h2>Per-server queue depth</h2>
+<div id="depth"></div>
+<script id="data" type="application/json">{payload}</script>
+<script>{_JS}</script>
+</body></html>
+"""
+
+
+def write_dashboard(path, sink: TelemetrySink, slo_report: dict | None = None,
+                    slo_spec=None, meta: dict | None = None) -> None:
+    with open(path, "w") as f:
+        f.write(render_dashboard(sink, slo_report, slo_spec, meta))

@@ -140,3 +140,23 @@ def write_metrics(registry: MetricsRegistry, path: str,
                   include_samples: bool = True) -> None:
     with open(path, "w", encoding="utf-8") as f:
         json.dump(metrics_dump(registry, include_samples), f, indent=2)
+
+
+def write_telemetry(sink, path: str, include_sketches: bool = True) -> None:
+    """Write a :class:`~repro.obs.telemetry.TelemetrySink` snapshot as JSON.
+
+    The snapshot is O(windows) regardless of run length; NaN aggregates
+    (empty windows) are emitted as ``null`` so any JSON parser reads it.
+    """
+    def clean(v):
+        if isinstance(v, float):
+            return v if v == v and v not in (float("inf"), float("-inf")) else None
+        if isinstance(v, dict):
+            return {k: clean(x) for k, x in v.items()}
+        if isinstance(v, list):
+            return [clean(x) for x in v]
+        return v
+
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(clean(sink.snapshot(include_sketches=include_sketches)),
+                  f, indent=1)

@@ -23,6 +23,39 @@ from __future__ import annotations
 import math
 
 
+def bucketed_quantile(q: float, counts: list, count: int, minimum: float,
+                      maximum: float, bounds) -> float:
+    """Quantile over bucket ``counts`` with piecewise-linear interpolation.
+
+    Shared by :class:`Histogram` and the telemetry layer's mergeable
+    sketches (:class:`repro.obs.telemetry.LogSketch`).  ``bounds(idx)``
+    returns a bucket's ``[lower, upper)`` value range; the under/overflow
+    buckets (whose nominal bounds are ``0``/``inf``) and the buckets
+    holding the observed extremes are clamped to ``[minimum, maximum]``,
+    so the estimate never leaves the observed value range.
+    """
+    if count == 0:
+        return math.nan
+    if q <= 0.0:
+        return minimum
+    if q >= 1.0:
+        return maximum
+    target = q * count  # mass rank in (0, count)
+    seen = 0
+    for idx, c in enumerate(counts):
+        if c == 0:
+            continue
+        if seen + c >= target:
+            lo, hi = bounds(idx)
+            lo = max(lo, minimum)
+            hi = min(hi, maximum)
+            if hi <= lo:
+                return lo
+            return lo + (target - seen) / c * (hi - lo)
+        seen += c
+    return maximum
+
+
 class Counter:
     """A monotonically increasing named count."""
 
@@ -108,26 +141,17 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile by linear interpolation in-bucket.
 
-        The answer is clamped to the observed min/max, so single-bucket
-        histograms still return sane values.
+        Treats the distribution's CDF as piecewise linear through the
+        bucket boundaries: the rank ``q * count`` falls inside exactly one
+        bucket and interpolates between that bucket's bounds.  The
+        underflow bucket spans ``[minimum, lo)`` and the overflow bucket
+        ``[hi, maximum]`` — they have no log-scale bounds of their own, so
+        the observed extremes stand in — and every bucket is clamped to
+        the observed min/max, which keeps ``quantile(0.0) == minimum`` and
+        ``quantile(1.0) == maximum`` exactly.
         """
-        if self.count == 0:
-            return math.nan
-        target = q * (self.count - 1) + 1  # rank in [1, count]
-        seen = 0
-        for idx, c in enumerate(self.counts):
-            if c == 0:
-                continue
-            if seen + c >= target:
-                lo, hi = self.bucket_bounds(idx)
-                hi = min(hi, self.maximum)
-                lo = max(lo, self.minimum)
-                if hi <= lo:
-                    return lo
-                frac = (target - seen) / c
-                return lo + frac * (hi - lo)
-            seen += c
-        return self.maximum
+        return bucketed_quantile(q, self.counts, self.count, self.minimum,
+                                 self.maximum, self.bucket_bounds)
 
     def snapshot(self) -> dict:
         return {
@@ -150,7 +174,7 @@ class TimeSeries:
     """
 
     __slots__ = ("name", "maxlen", "samples", "_stride", "_skip",
-                 "count", "total", "maximum")
+                 "count", "total", "maximum", "last")
 
     def __init__(self, name: str, maxlen: int = 4096):
         self.name = name
@@ -161,20 +185,26 @@ class TimeSeries:
         self.count = 0
         self.total = 0.0
         self.maximum = -math.inf
+        #: the most recent (ts, value) ever sampled — survives decimation
+        self.last: tuple[float, float] | None = None
 
     def sample(self, ts_us: float, value: float) -> None:
         self.count += 1
         self.total += value
         if value > self.maximum:
             self.maximum = value
+        self.last = (ts_us, value)
         if self._skip:
             self._skip -= 1
             return
-        self._skip = self._stride - 1
         self.samples.append((ts_us, value))
         if len(self.samples) >= self.maxlen:
-            self.samples = self.samples[::2]
+            # drop every other retained sample, choosing the parity that
+            # keeps the newest one, so repeated halvings stay uniformly
+            # spaced at the doubled stride and never lose the tail
+            self.samples = self.samples[(len(self.samples) - 1) % 2::2]
             self._stride *= 2
+        self._skip = self._stride - 1
 
     @property
     def mean(self) -> float:
@@ -185,6 +215,7 @@ class TimeSeries:
             "count": self.count,
             "mean": self.mean,
             "max": self.maximum if self.count else math.nan,
+            "last": list(self.last) if self.last is not None else None,
         }
 
 

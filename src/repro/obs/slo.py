@@ -1,0 +1,224 @@
+"""Declarative SLOs evaluated against streaming telemetry.
+
+An :class:`SLOSpec` states, per op class, what "good" means — an
+availability target (fraction of attempts that must succeed) and/or a
+latency objective (a quantile of op latency that must stay under a
+threshold).  :func:`evaluate_slo` replays neither spans nor ops: it reads
+only the windowed aggregates of a :class:`~repro.obs.telemetry.TelemetrySink`,
+so a 10M-op run is judged from kilobytes of state.
+
+The math follows the error-budget formulation used by SRE practice, with
+both objective kinds reduced to one *bad-event* form:
+
+* availability — an attempt is bad when it errors:
+  ``bad = errors``, ``total = ops + errors``;
+* latency — an op is bad when it exceeds the threshold:
+  ``bad = sketch.count_above(threshold)``, ``total = ops``
+  (estimated from the mergeable sketch's CDF, no samples retained).
+
+The error budget over a horizon is ``(1 - target) × total`` bad events;
+*budget consumption* is ``bad / budget``.  A *burn rate* is how fast the
+budget disappears relative to plan: ``(bad / total) / (1 - target)`` —
+burn 1.0 spends exactly the budget over the horizon, burn 20 exhausts a
+month-long budget in ~1.5 days.  Because virtual time is scale-free, the
+standard multi-window alert pairs (1h/6h/3d) become *fractions of the
+run*: a fast window (most recent 1/20th), a slow window (most recent
+1/4), and the overall horizon.  A violation is an overall consumption
+≥ 1.0; the window burns are reported for dashboards and early warning.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from .telemetry import TelemetrySink
+
+#: burn-rate evaluation windows, as trailing fractions of the horizon
+FAST_FRACTION = 1.0 / 20.0
+SLOW_FRACTION = 1.0 / 4.0
+
+
+class Objective:
+    """One objective for one op class (e.g. ``client.create``)."""
+
+    __slots__ = ("op", "kind", "target", "threshold_us", "quantile")
+
+    def __init__(self, op: str, kind: str, target: float,
+                 threshold_us: float | None = None, quantile: float = 0.99):
+        if kind not in ("availability", "latency"):
+            raise ValueError(f"unknown objective kind {kind!r}")
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {target}")
+        if kind == "latency" and (threshold_us is None or threshold_us <= 0):
+            raise ValueError("latency objectives need a positive threshold_us")
+        self.op = op
+        self.kind = kind
+        self.target = target
+        self.threshold_us = threshold_us
+        self.quantile = quantile
+
+    @property
+    def name(self) -> str:
+        if self.kind == "availability":
+            return f"{self.op}:availability"
+        return f"{self.op}:latency_p{self.quantile * 100:g}"
+
+    def to_dict(self) -> dict:
+        d = {"op": self.op, "kind": self.kind, "target": self.target}
+        if self.kind == "latency":
+            d["threshold_us"] = self.threshold_us
+            d["quantile"] = self.quantile
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Objective":
+        return cls(d["op"], d["kind"], d["target"],
+                   threshold_us=d.get("threshold_us"),
+                   quantile=d.get("quantile", 0.99))
+
+
+class SLOSpec:
+    """A named set of objectives; loadable from JSON."""
+
+    def __init__(self, name: str, objectives: list):
+        self.name = name
+        self.objectives = list(objectives)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "objectives": [o.to_dict() for o in self.objectives]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SLOSpec":
+        return cls(d.get("name", "custom"),
+                   [Objective.from_dict(o) for o in d["objectives"]])
+
+    @classmethod
+    def from_file(cls, path) -> "SLOSpec":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+
+def default_spec() -> SLOSpec:
+    """The repo's stock spec: metadata creates must be available and fast.
+
+    Calibrated against the fig16 DMS-crash scenario — LocoFS-C's leases
+    mask the outage (100% create availability, sub-millisecond p99) while
+    LocoFS-NC burns the availability budget on retries and give-ups.
+    """
+    return SLOSpec("default", [
+        Objective("client.create", "availability", 0.99),
+        Objective("client.create", "latency", 0.95,
+                  threshold_us=20_000.0, quantile=0.99),
+    ])
+
+
+def _bad_total(obj: Objective, sink: TelemetrySink,
+               lo_us: float | None, hi_us: float | None) -> tuple[float, float]:
+    """(bad events, total events) for one objective over a time range."""
+    ok = sink.count_ops(obj.op, lo_us, hi_us)
+    if obj.kind == "availability":
+        errors = sink.count_ops(obj.op, lo_us, hi_us, errors=True)
+        return float(errors), float(ok + errors)
+    sketch = sink.merged_sketch(obj.op, lo_us, hi_us)
+    return sketch.count_above(obj.threshold_us), float(ok)
+
+
+def _burn(bad: float, total: float, target: float) -> float:
+    """Burn rate: observed bad fraction relative to the allowed fraction."""
+    if total <= 0.0:
+        return 0.0
+    return (bad / total) / (1.0 - target)
+
+
+def evaluate_slo(spec: SLOSpec, sink: TelemetrySink,
+                 horizon_us: float | None = None) -> dict:
+    """Judge every objective of ``spec`` against ``sink``'s aggregates.
+
+    Returns a JSON-ready report; ``report["ok"]`` is the overall verdict
+    (an objective with no traffic passes vacuously but is flagged
+    ``no_data``).  ``horizon_us`` defaults to the sink's covered time.
+    """
+    horizon = horizon_us if horizon_us is not None else sink.horizon_us()
+    results = []
+    ok = True
+    for obj in spec.objectives:
+        bad, total = _bad_total(obj, sink, None, horizon)
+        budget = (1.0 - obj.target) * total
+        consumed = bad / budget if budget > 0.0 else 0.0
+        fast_lo = horizon * (1.0 - FAST_FRACTION)
+        slow_lo = horizon * (1.0 - SLOW_FRACTION)
+        fast_bad, fast_total = _bad_total(obj, sink, fast_lo, horizon)
+        slow_bad, slow_total = _bad_total(obj, sink, slow_lo, horizon)
+        entry = {
+            "objective": obj.name,
+            "op": obj.op,
+            "kind": obj.kind,
+            "target": obj.target,
+            "total": total,
+            "bad": bad,
+            "good_fraction": 1.0 - bad / total if total else math.nan,
+            "budget": budget,
+            "budget_consumed": consumed,
+            "burn": {
+                "overall": _burn(bad, total, obj.target),
+                "fast": _burn(fast_bad, fast_total, obj.target),
+                "slow": _burn(slow_bad, slow_total, obj.target),
+            },
+            "no_data": total == 0.0,
+            "ok": consumed < 1.0,
+        }
+        if obj.kind == "latency":
+            entry["threshold_us"] = obj.threshold_us
+            entry["quantile"] = obj.quantile
+            sk = sink.merged_sketch(obj.op, None, horizon)
+            entry["observed_us"] = (sk.quantile(obj.quantile)
+                                    if sk.count else math.nan)
+        ok = ok and entry["ok"]
+        results.append(entry)
+    return {
+        "schema": 1,
+        "spec": spec.name,
+        "horizon_us": horizon,
+        "window_us": sink.window_us,
+        "ok": ok,
+        "objectives": results,
+    }
+
+
+def burn_timeline(obj: Objective, sink: TelemetrySink) -> list:
+    """Per-window burn rates for one objective (dashboard burn strips)."""
+    out = []
+    w = sink.window_us
+    for i in range(sink.n_windows):
+        bad, total = _bad_total(obj, sink, i * w, (i + 1) * w)
+        out.append(_burn(bad, total, obj.target))
+    return out
+
+
+def format_slo(report: dict) -> str:
+    """Human-readable table of an :func:`evaluate_slo` report."""
+    lines = []
+    lines.append(f"== SLO check: spec={report['spec']} "
+                 f"horizon={report['horizon_us'] / 1e6:.3f}s ==")
+    hdr = (f"{'objective':<34} {'target':>7} {'good':>8} {'events':>9} "
+           f"{'budget':>9} {'consumed':>9} {'burn':>7}  verdict")
+    lines.append(hdr)
+    lines.append("-" * len(hdr))
+    for o in report["objectives"]:
+        good = o["good_fraction"]
+        good_s = f"{good * 100:7.3f}%" if good == good else "      --"
+        verdict = "PASS" if o["ok"] else "FAIL"
+        if o["no_data"]:
+            verdict += " (no data)"
+        lines.append(
+            f"{o['objective']:<34} {o['target'] * 100:6.2f}% {good_s} "
+            f"{o['total']:9.0f} {o['budget']:9.2f} "
+            f"{o['budget_consumed']:9.3f} {o['burn']['overall']:7.2f}  {verdict}")
+        if o["kind"] == "latency" and o["observed_us"] == o["observed_us"]:
+            lines.append(
+                f"    p{o['quantile'] * 100:g} observed "
+                f"{o['observed_us']:.1f}µs vs threshold {o['threshold_us']:.0f}µs")
+    lines.append("verdict: " + ("PASS" if report["ok"] else "FAIL"))
+    return "\n".join(lines)

@@ -24,15 +24,20 @@ fixed for the engine's lifetime.  None of this may change virtual-time
 arithmetic — the determinism golden test pins ``engine.now`` bit-for-bit.
 
 Observability (:mod:`repro.obs`) is attached per engine with
-``attach_observability(tracer, metrics)``.  With a tracer, every RPC
-becomes a span on the issuing client's track with child ``queue``/
-``serve`` spans on the server's track (enqueue→dispatch wait is its own
-phase) and ``kv.*`` spans for each metered store operation; ``SpanBegin``/
-``SpanEnd`` commands from the client wrappers bracket whole file-system
-ops.  With a metrics registry, the engines feed per-server request
-counters, queue-wait/service histograms and — on the event engine —
-queue-depth and busy-fraction samplers.  With neither attached every
-hook is a single ``is None`` test, so plain runs are unaffected.
+``attach_observability(tracer, metrics, telemetry)``.  With a tracer,
+every RPC becomes a span on the issuing client's track with child
+``queue``/``serve`` spans on the server's track (enqueue→dispatch wait is
+its own phase) and ``kv.*`` spans for each metered store operation;
+``SpanBegin``/``SpanEnd`` commands from the client wrappers bracket whole
+file-system ops.  With a metrics registry, the engines feed per-server
+request counters, queue-wait/service histograms and — on the event
+engine — queue-depth and busy-fraction samplers.  With a telemetry sink
+(:class:`~repro.obs.telemetry.TelemetrySink`) the same hook points feed
+the online windowed aggregator: op completions with latency and error
+class at span close, per-server service intervals and batch shapes at
+RPC complete, queue-depth samples on arrival, and retry/gaveup/crash
+marks.  With nothing attached every hook is a single ``is None`` test,
+so plain runs are unaffected.
 """
 
 from __future__ import annotations
@@ -117,19 +122,24 @@ class _ObservableEngine:
 
     tracer = None
     metrics = None
+    #: online windowed aggregator (:class:`repro.obs.telemetry.TelemetrySink`)
+    telemetry = None
     #: fault-injection runtime (:mod:`repro.sim.faults`); stays ``None``
     #: until :meth:`attach_faults`, and every fault hook guards on that —
     #: an un-attached engine's virtual time is bit-identical to before
     faults: FaultState | None = None
     retry: RetryPolicy | None = None
 
-    def attach_observability(self, tracer=None, metrics=None) -> None:
-        """Opt this engine (and its cluster's meters) into tracing/metrics."""
+    def attach_observability(self, tracer=None, metrics=None,
+                             telemetry=None) -> None:
+        """Opt this engine (and its cluster's meters) into observability."""
         if tracer is not None:
             self.tracer = tracer
         if metrics is not None:
             self.metrics = metrics
             self.cluster.attach_metrics(metrics)
+        if telemetry is not None:
+            self.telemetry = telemetry
 
     def attach_faults(self, schedule, retry: RetryPolicy | None = None) -> None:
         """Opt this engine into fault injection.
@@ -154,6 +164,8 @@ class _ObservableEngine:
         if self.metrics is not None:
             self.metrics.counter(counter).inc()
             self.metrics.timeseries(f"{server}.up").sample(t, up)
+        if self.telemetry is not None:
+            self.telemetry.mark(name, t)
 
     def _fault_mark(self, state: _ClientState, name: str, server: str,
                     t: float, counter: str | None = None, **args) -> None:
@@ -165,6 +177,8 @@ class _ObservableEngine:
             self.tracer.instant(name, t, state.track, parent, a)
         if self.metrics is not None:
             self.metrics.counter(counter if counter is not None else name).inc()
+        if self.telemetry is not None:
+            self.telemetry.mark(name, t)
 
     # -- span stack driven by SpanBegin/SpanEnd/Mark commands -------------------
     def _span_begin(self, state: _ClientState, cmd: SpanBegin) -> None:
@@ -175,7 +189,7 @@ class _ObservableEngine:
                                      parent, dict(cmd.args))
         state.spans.append((span, cmd.name, self.now))
 
-    def _span_end(self, state: _ClientState) -> None:
+    def _span_end(self, state: _ClientState, cmd: SpanEnd | None = None) -> None:
         if not state.spans:
             return
         span, name, t0 = state.spans.pop()
@@ -184,6 +198,11 @@ class _ObservableEngine:
         if self.metrics is not None:
             self.metrics.counter(name).inc()
             self.metrics.histogram(name + "_us").record(self.now - t0)
+        if self.telemetry is not None and not state.spans:
+            # outermost span only: one op completion, not one per nesting
+            self.telemetry.op_complete(
+                name, t0, self.now,
+                cmd.error if cmd is not None else None)
 
     def _mark(self, state: _ClientState, cmd: Mark) -> None:
         if self.tracer is not None:
@@ -192,6 +211,8 @@ class _ObservableEngine:
                                 dict(cmd.args))
         if self.metrics is not None:
             self.metrics.counter(cmd.name).inc()
+        if self.telemetry is not None:
+            self.telemetry.mark(cmd.name, self.now)
 
     # -- server-side instrumentation ---------------------------------------------
     def _rpc_span(self, state: _ClientState, rpc: Rpc):
@@ -289,6 +310,9 @@ class _ObservableEngine:
                 m.counter(f"{server}.op.{rpc.method}").inc()
             m.histogram(f"{server}.queue_wait_us").record(start - arrive)
             m.histogram(f"{server}.service_us").record(service)
+        if self.telemetry is not None:
+            self.telemetry.rpc_complete(server, arrive, start, service,
+                                        n_ops=n, batch=True)
 
     def _record_service(self, rpc: Rpc, rpc_span, arrive: float, start: float,
                         service: float) -> None:
@@ -304,6 +328,8 @@ class _ObservableEngine:
             self.metrics.counter(f"{rpc.server}.op.{rpc.method}").inc()
             self.metrics.histogram(f"{rpc.server}.queue_wait_us").record(start - arrive)
             self.metrics.histogram(f"{rpc.server}.service_us").record(service)
+        if self.telemetry is not None:
+            self.telemetry.rpc_complete(rpc.server, arrive, start, service)
 
 
 class DirectEngine(_ObservableEngine):
@@ -387,7 +413,7 @@ class DirectEngine(_ObservableEngine):
             elif tag == TAG_SPAN_BEGIN:
                 self._span_begin(self._client, cmd)
             elif tag == TAG_SPAN_END:
-                self._span_end(self._client)
+                self._span_end(self._client, cmd)
             elif tag == TAG_MARK:
                 self._mark(self._client, cmd)
             elif tag == TAG_SPAN_CAPTURE:
@@ -449,7 +475,11 @@ class DirectEngine(_ObservableEngine):
             node.busy_us += service
             node.next_free = start + service
             self.now = start + service
-            if self.tracer is not None or self.metrics is not None:
+            telemetry = self.telemetry
+            if self.tracer is None and self.metrics is None:
+                if telemetry is not None:
+                    telemetry.rpc_complete(rpc.server, arrive, start, service)
+            else:
                 self._record_service(rpc, rpc_span, arrive, start, service)
             # response wire time + half RTT back
             if transfers:
@@ -511,7 +541,12 @@ class DirectEngine(_ObservableEngine):
         node.busy_us += service
         node.next_free = start + service
         self.now = start + service
-        if self.tracer is not None or self.metrics is not None:
+        telemetry = self.telemetry
+        if self.tracer is None and self.metrics is None:
+            if telemetry is not None:
+                telemetry.rpc_complete(batch.server, arrive, start, service,
+                                       n_ops=len(batch.rpcs), batch=True)
+        else:
             self._record_batch(batch, span, arrive, start, service)
         recv_bytes = 0
         for rpc, result in zip(batch.rpcs, results):
@@ -660,58 +695,66 @@ class EventEngine(_ObservableEngine):
 
     # -- stepping machinery --------------------------------------------------------
     def _step(self, gen, state, on_done, send_value, exc) -> None:
-        try:
-            cmd = gen.throw(exc) if exc is not None else gen.send(send_value)
-        except StopIteration as stop:
-            if on_done is not None:
-                on_done(stop.value, None)
-            return
-        except FSError as e:
-            if on_done is not None:
-                on_done(None, e)
-            else:  # pragma: no cover - surfacing a bug in an op generator
-                raise
-            return
-        try:
-            tag = cmd.tag
-        except AttributeError:
-            raise TypeError(f"unknown engine command: {cmd!r}") from None
-        if tag == TAG_RPC:
-            self._issue(gen, state, on_done, cmd, single=True)
-        elif tag == TAG_PARALLEL:
-            rpcs = cmd.rpcs
-            n = len(rpcs)
-            if n == 0:
-                self.sim.after(0.0, self._step, gen, state, on_done, [], None)
+        # synchronous commands (spans, marks, captures) are handled in
+        # place and loop straight into the next send — no recursion, no
+        # simulator event, no time advance
+        while True:
+            try:
+                cmd = gen.throw(exc) if exc is not None else gen.send(send_value)
+            except StopIteration as stop:
+                if on_done is not None:
+                    on_done(stop.value, None)
                 return
-            pending = {"n": n, "results": [None] * n, "err": None}
-            # the client uplink serializes request payloads: branch i cannot
-            # dispatch before the preceding payloads are on the wire
-            uplink = 0.0
-            transfer_us = self.cost.transfer_us
-            for i, rpc in enumerate(rpcs):
-                self._issue(gen, state, on_done, rpc, single=False, group=(pending, i),
-                            extra_delay=uplink)
-                if rpc.send_bytes:
-                    uplink += transfer_us(rpc.send_bytes)
-        elif tag == TAG_DELAY:  # Sleep and LocalCharge advance time alike
-            self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
-        elif tag == TAG_SPAN_BEGIN:
-            self._span_begin(state, cmd)
-            self._step(gen, state, on_done, None, None)
-        elif tag == TAG_SPAN_END:
-            self._span_end(state)
-            self._step(gen, state, on_done, None, None)
-        elif tag == TAG_MARK:
-            self._mark(state, cmd)
-            self._step(gen, state, on_done, None, None)
-        elif tag == TAG_SPAN_CAPTURE:
-            span = state.spans[-1][0] if state.spans else None
-            self._step(gen, state, on_done, span, None)
-        elif tag == TAG_BATCH:
-            self._issue_batch(gen, state, on_done, cmd)
-        else:
-            raise TypeError(f"unknown engine command: {cmd!r}")
+            except FSError as e:
+                if on_done is not None:
+                    on_done(None, e)
+                else:  # pragma: no cover - surfacing a bug in an op generator
+                    raise
+                return
+            try:
+                tag = cmd.tag
+            except AttributeError:
+                raise TypeError(f"unknown engine command: {cmd!r}") from None
+            if tag == TAG_RPC:
+                self._issue(gen, state, on_done, cmd, single=True)
+                return
+            if tag == TAG_PARALLEL:
+                rpcs = cmd.rpcs
+                n = len(rpcs)
+                if n == 0:
+                    self.sim.after(0.0, self._step, gen, state, on_done, [], None)
+                    return
+                pending = {"n": n, "results": [None] * n, "err": None}
+                # the client uplink serializes request payloads: branch i
+                # cannot dispatch before the preceding payloads are on the wire
+                uplink = 0.0
+                transfer_us = self.cost.transfer_us
+                for i, rpc in enumerate(rpcs):
+                    self._issue(gen, state, on_done, rpc, single=False,
+                                group=(pending, i), extra_delay=uplink)
+                    if rpc.send_bytes:
+                        uplink += transfer_us(rpc.send_bytes)
+                return
+            if tag == TAG_DELAY:  # Sleep and LocalCharge advance time alike
+                self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
+                return
+            if tag == TAG_SPAN_BEGIN:
+                self._span_begin(state, cmd)
+            elif tag == TAG_SPAN_END:
+                self._span_end(state, cmd)
+            elif tag == TAG_MARK:
+                self._mark(state, cmd)
+            elif tag == TAG_SPAN_CAPTURE:
+                exc = None
+                send_value = state.spans[-1][0] if state.spans else None
+                continue
+            elif tag == TAG_BATCH:
+                self._issue_batch(gen, state, on_done, cmd)
+                return
+            else:
+                raise TypeError(f"unknown engine command: {cmd!r}")
+            exc = None
+            send_value = None
 
     def _issue(self, gen, state, on_done, rpc: Rpc, single: bool, group=None,
                extra_delay: float = 0.0, attempt: int = 0) -> None:
@@ -790,9 +833,16 @@ class EventEngine(_ObservableEngine):
         node.next_free = finish
         node.requests_served += 1
         node.busy_us += service
-        if self.tracer is not None or self.metrics is not None:
+        telemetry = self.telemetry
+        if tracer is None and self.metrics is None:
+            # telemetry-only fast path: one folded sink call per request
+            if telemetry is not None:
+                telemetry.rpc_complete(
+                    rpc.server, arrive, start, service,
+                    depth=self._arrival_depth(rpc.server, arrive, finish))
+        else:
             self._record_service(rpc, rpc_span, arrive, start, service)
-            if self.metrics is not None:
+            if self.metrics is not None or telemetry is not None:
                 self._sample_server(rpc.server, node, arrive, finish)
         # the response reaches the client after the wire latency, then its
         # payload must cross the client's (serialized) downlink
@@ -877,9 +927,16 @@ class EventEngine(_ObservableEngine):
         node.next_free = finish
         node.requests_served += 1
         node.busy_us += service
-        if self.tracer is not None or self.metrics is not None:
+        telemetry = self.telemetry
+        if self.tracer is None and self.metrics is None:
+            if telemetry is not None:
+                telemetry.rpc_complete(
+                    batch.server, arrive, start, service,
+                    n_ops=len(batch.rpcs), batch=True,
+                    depth=self._arrival_depth(batch.server, arrive, finish))
+        else:
             self._record_batch(batch, span, arrive, start, service)
-            if self.metrics is not None:
+            if self.metrics is not None or telemetry is not None:
                 self._sample_server(batch.server, node, arrive, finish)
         if lost is not None:
             # the server served the batch, but its response never reaches
@@ -951,22 +1008,33 @@ class EventEngine(_ObservableEngine):
         at = t if t > sim.now else sim.now
         sim.at(at, self._issue_batch, gen, state, on_done, batch, attempt + 1)
 
-    def _sample_server(self, name: str, node: ServerNode, arrive: float,
-                       finish: float) -> None:
-        """Per-server queue depth (requests ahead of this one still queued or
-        in service on arrival) and busy-fraction over the window since the
-        previous sample."""
+    def _arrival_depth(self, name: str, arrive: float, finish: float) -> int:
+        """Queue depth on arrival (requests ahead still queued or in
+        service), maintained as a deque of in-flight finish times."""
         backlog = self._backlog.get(name)
         if backlog is None:
             backlog = self._backlog[name] = deque()
         while backlog and backlog[0] <= arrive:
             backlog.popleft()
-        self.metrics.timeseries(f"{name}.queue_depth").sample(arrive, len(backlog))
+        depth = len(backlog)
         backlog.append(finish)
+        return depth
+
+    def _sample_server(self, name: str, node: ServerNode, arrive: float,
+                       finish: float) -> None:
+        """Per-server queue depth and busy-fraction over the window since
+        the previous sample."""
+        depth = self._arrival_depth(name, arrive, finish)
+        if self.telemetry is not None:
+            self.telemetry.queue_depth(name, arrive, depth)
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.timeseries(f"{name}.queue_depth").sample(arrive, depth)
         last_ts, last_busy = self._util_mark.get(name, (0.0, 0.0))
         if finish > last_ts:
             frac = min(1.0, (node.busy_us - last_busy) / (finish - last_ts))
-            self.metrics.timeseries(f"{name}.utilization").sample(finish, frac)
+            metrics.timeseries(f"{name}.utilization").sample(finish, frac)
             self._util_mark[name] = (finish, node.busy_us)
 
     def _join(self, gen, state, on_done, pending, idx, result, err) -> None:

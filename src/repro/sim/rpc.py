@@ -162,13 +162,22 @@ class SpanBegin:
 
 
 class SpanEnd:
-    """Close the innermost span opened by :class:`SpanBegin` (no time cost)."""
+    """Close the innermost span opened by :class:`SpanBegin` (no time cost).
 
-    __slots__ = ()
+    ``error`` carries the failure class (e.g. ``"FSError"``,
+    ``"ServerUnavailable"``) when the operation is unwinding with an
+    exception, so the telemetry layer can count the completion as an error
+    for its op class.  ``None`` on the success path.
+    """
+
+    __slots__ = ("error",)
     tag = TAG_SPAN_END
 
+    def __init__(self, error: str | None = None):
+        self.error = error
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return "SpanEnd()"
+        return f"SpanEnd({self.error!r})" if self.error else "SpanEnd()"
 
 
 class Mark:

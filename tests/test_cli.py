@@ -214,3 +214,126 @@ def test_fsck_demo(capsys):
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------------------------
+# shared observability flags — one parent parser, exercised on every verb
+# ---------------------------------------------------------------------------
+
+def _read_telemetry(path):
+    import json
+
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == 1
+    assert doc["n_windows"] <= doc["max_windows"]
+    return doc
+
+
+def test_obs_flags_on_latency(capsys, tmp_path):
+    tpath = tmp_path / "tele.json"
+    assert main(["latency", "locofs", "-n", "2", "--items", "4",
+                 "--telemetry-out", str(tpath), "--slo"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry snapshot written" in out
+    assert "client.create:availability" in out and "PASS" in out
+    doc = _read_telemetry(tpath)
+    assert doc["totals"]["ops"]["client.create"] == 4
+
+
+def test_obs_flags_on_throughput(capsys, tmp_path):
+    tpath = tmp_path / "tele.json"
+    assert main(["throughput", "locofs-c", "-n", "2", "--op", "touch",
+                 "--items", "5", "--client-scale", "0.1",
+                 "--telemetry-out", str(tpath), "--telemetry-window", "64"]) == 0
+    doc = _read_telemetry(tpath)
+    assert doc["initial_window_us"] == 64.0
+    assert doc["totals"]["ops"]["client.create"] >= 5
+
+
+def test_obs_flags_on_availability(capsys, tmp_path):
+    tpath = tmp_path / "tele.json"
+    assert main(["availability", "locofs-c", "-n", "2", "--clients", "2",
+                 "--items", "6", "--telemetry-out", str(tpath), "--slo"]) == 0
+    assert "client.create:availability" in capsys.readouterr().out
+    doc = _read_telemetry(tpath)
+    # the crash scenario leaves its fingerprints in marks and errors
+    assert doc["totals"]["marks"]["server.crash"] == 1
+    assert doc["totals"]["marks"]["client.retry"] > 0
+    assert doc["totals"]["errors"].get("client.create", 0) > 0
+
+
+def test_obs_flags_on_trace(capsys, tmp_path):
+    tpath = tmp_path / "tele.json"
+    assert main(["trace", "locofs", "--out", str(tmp_path / "tr.json"),
+                 "--items", "3", "--telemetry-out", str(tpath)]) == 0
+    doc = _read_telemetry(tpath)
+    assert doc["totals"]["ops"]["client.create"] == 3
+
+
+def test_obs_flags_on_analyze(capsys, tmp_path):
+    tpath = tmp_path / "tele.json"
+    assert main(["analyze", "locofs-c", "-n", "2", "--items", "4",
+                 "--telemetry-out", str(tpath)]) == 0
+    assert "telemetry snapshot written" in capsys.readouterr().out
+    doc = _read_telemetry(tpath)
+    assert doc["totals"]["ops"]["client.create"] > 0
+
+
+def test_obs_flags_on_run(capsys, tmp_path):
+    # `run` installs the sink as the process-wide default for the harnesses
+    tpath = tmp_path / "tele.json"
+    assert main(["run", "fig6", "--quick", "--telemetry-out", str(tpath)]) == 0
+    doc = _read_telemetry(tpath)
+    assert doc["totals"]["ops"]["client.create"] > 0
+
+
+# ---------------------------------------------------------------------------
+# slo and dashboard verbs
+# ---------------------------------------------------------------------------
+
+def test_slo_check_passes_on_locofs_c(capsys, tmp_path):
+    import json
+
+    jpath = tmp_path / "report.json"
+    assert main(["slo", "locofs-c", "--check", "--clients", "4",
+                 "--items", "20", "--json", str(jpath)]) == 0
+    out = capsys.readouterr().out
+    assert "verdict" in out and "PASS" in out
+    report = json.loads(jpath.read_text())
+    assert report["ok"]
+
+
+def test_slo_check_fails_on_locofs_nc(capsys):
+    assert main(["slo", "locofs-nc", "--check", "--clients", "4",
+                 "--items", "20"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "error budget exhausted" in captured.err
+
+
+def test_slo_unknown_system(capsys):
+    assert main(["slo", "nope"]) == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
+def test_dashboard_writes_self_contained_html(capsys, tmp_path):
+    import re
+
+    out_file = tmp_path / "dash.html"
+    assert main(["dashboard", "locofs-nc", "--out", str(out_file),
+                 "--clients", "4", "--items", "10"]) == 0
+    assert "self-contained" in capsys.readouterr().out
+    html = out_file.read_text()
+    assert "<html" in html and "client.create:availability" in html
+    # fully offline: no external scripts, stylesheets, or fetches
+    assert not re.search(r'(?:src|href)\s*=\s*["\']https?://', html)
+    assert "fetch(" not in html and "XMLHttpRequest" not in html
+
+
+def test_dashboard_throughput_scenario(capsys, tmp_path):
+    out_file = tmp_path / "dash.html"
+    assert main(["dashboard", "locofs-c", "--out", str(out_file),
+                 "--scenario", "throughput", "--items", "5",
+                 "--client-scale", "0.1"]) == 0
+    assert "IOPS" in capsys.readouterr().out
+    assert "<html" in out_file.read_text()

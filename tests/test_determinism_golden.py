@@ -88,3 +88,25 @@ def test_empty_fault_schedule_is_bit_identical(golden, monkeypatch):
     monkeypatch.setattr(runner, "make_system", with_empty_faults)
     monkeypatch.setattr(mdtest, "make_system", with_empty_faults)
     assert goldens.determinism_fingerprint() == golden
+
+
+def test_attached_telemetry_is_clock_invisible(golden):
+    """A streaming TelemetrySink must never perturb virtual time.
+
+    The sink only *reads* the clock at span close; it performs no
+    virtual-time arithmetic and draws no randomness, so fingerprinting
+    the seven golden systems with the process-default sink installed
+    (the same path ``repro ... --telemetry-out`` takes) must match the
+    unattached goldens bit-for-bit — while the sink itself fills up.
+    """
+    from repro.obs import TelemetrySink, set_default_telemetry
+
+    sink = TelemetrySink()
+    previous = set_default_telemetry(sink)
+    try:
+        assert goldens.determinism_fingerprint() == golden
+    finally:
+        set_default_telemetry(previous)
+    # the invariance is only meaningful if the sink really was attached
+    assert sink.total_ops > 0
+    assert sink.count_ops("client.create") > 0

@@ -309,6 +309,26 @@ def test_timeseries_decimates_but_keeps_exact_aggregates():
     assert times[-1] > 0.9 * n  # decimation still covers the whole run
 
 
+def test_timeseries_exact_at_maxlen_boundary():
+    # up to maxlen-1 samples nothing is dropped; the maxlen-th sample
+    # triggers the first halving, which keeps the newest sample
+    ts = TimeSeries("t", maxlen=8)
+    for i in range(7):
+        ts.sample(float(i), float(i))
+    assert len(ts.samples) == 7  # lossless below the cap
+    assert ts.samples == [(float(i), float(i)) for i in range(7)]
+    ts.sample(7.0, 7.0)  # crosses the boundary: halve, stride doubles
+    assert len(ts.samples) == 4
+    assert ts.samples[-1] == (7.0, 7.0)  # tail survives the halving
+    times = [t for t, _ in ts.samples]
+    assert times == sorted(times)
+    # aggregates stay exact through the decimation
+    assert ts.count == 8
+    assert ts.maximum == 7.0
+    assert ts.mean == pytest.approx(3.5)
+    assert ts.last == (7.0, 7.0)
+
+
 def test_registry_snapshot_shapes():
     reg = MetricsRegistry()
     reg.counter("a.b").inc(3)

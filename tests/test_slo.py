@@ -1,0 +1,168 @@
+"""SLO engine: spec round-trips, budget math, burn rates, fig16 gate."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    Objective,
+    SLOSpec,
+    burn_timeline,
+    default_spec,
+    evaluate_slo,
+    format_slo,
+)
+from repro.obs.telemetry import TelemetrySink
+
+
+def _sink_with(good=0, bad=0, op="client.create", latency_us=100.0,
+               window_us=100.0):
+    sink = TelemetrySink(window_us=window_us)
+    t = 0.0
+    for _ in range(good):
+        sink.op_complete(op, t, t + latency_us)
+        t += 10.0
+    for _ in range(bad):
+        sink.op_complete(op, t, t + latency_us, error="FSError")
+        t += 10.0
+    return sink
+
+
+# ---------------------------------------------------------------------------
+# spec validation and round-trip
+# ---------------------------------------------------------------------------
+
+def test_objective_validation():
+    with pytest.raises(ValueError):
+        Objective("client.create", "nonsense", 0.99)
+    with pytest.raises(ValueError):
+        Objective("client.create", "availability", 1.5)
+    with pytest.raises(ValueError):
+        Objective("client.create", "latency", 0.95)  # missing threshold
+    o = Objective("client.create", "latency", 0.95, threshold_us=1000.0,
+                  quantile=0.999)
+    assert o.name == "client.create:latency_p99.9"
+    assert Objective("x", "availability", 0.99).name == "x:availability"
+
+
+def test_spec_json_roundtrip(tmp_path):
+    spec = default_spec()
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    back = SLOSpec.from_file(path)
+    assert back.name == spec.name
+    assert [o.to_dict() for o in back.objectives] == \
+        [o.to_dict() for o in spec.objectives]
+
+
+# ---------------------------------------------------------------------------
+# budget math
+# ---------------------------------------------------------------------------
+
+def test_availability_budget_consumption():
+    # 1% budget over 200 ops = 2 allowed errors; 1 error = half consumed
+    sink = _sink_with(good=199, bad=1)
+    spec = SLOSpec("t", [Objective("client.create", "availability", 0.99)])
+    report = evaluate_slo(spec, sink)
+    [entry] = report["objectives"]
+    assert entry["total"] == 200.0
+    assert entry["bad"] == 1.0
+    assert entry["budget"] == pytest.approx(2.0)
+    assert entry["budget_consumed"] == pytest.approx(0.5)
+    assert entry["ok"] and report["ok"]
+    assert entry["good_fraction"] == pytest.approx(0.995)
+
+
+def test_availability_budget_exhausted_fails():
+    sink = _sink_with(good=150, bad=50)  # 25% errors vs 1% budget
+    spec = SLOSpec("t", [Objective("client.create", "availability", 0.99)])
+    report = evaluate_slo(spec, sink)
+    [entry] = report["objectives"]
+    assert entry["budget_consumed"] > 1.0
+    assert not entry["ok"] and not report["ok"]
+    assert entry["burn"]["overall"] == pytest.approx(25.0)  # 25% / 1%
+
+
+def test_latency_objective_counts_slow_ops():
+    sink = TelemetrySink(window_us=1000.0)
+    for i in range(95):
+        sink.op_complete("client.create", 0.0, 10.0)       # fast
+    for i in range(5):
+        sink.op_complete("client.create", 0.0, 90_000.0)   # slow
+    spec = SLOSpec("t", [Objective("client.create", "latency", 0.90,
+                                   threshold_us=20_000.0)])
+    report = evaluate_slo(spec, sink)
+    [entry] = report["objectives"]
+    assert entry["bad"] == pytest.approx(5.0, abs=1.0)
+    assert entry["budget"] == pytest.approx(10.0)
+    assert entry["ok"]  # 5% slow < 10% allowance
+    assert entry["observed_us"] > 20_000.0  # p99 well past the threshold
+
+
+def test_no_traffic_passes_vacuously_but_flagged():
+    sink = TelemetrySink()
+    report = evaluate_slo(default_spec(), sink, horizon_us=1000.0)
+    assert report["ok"]
+    assert all(e["no_data"] for e in report["objectives"])
+
+
+def test_burn_timeline_localizes_the_outage():
+    sink = TelemetrySink(window_us=100.0, max_windows=64)
+    for i in range(40):  # healthy windows 0-3
+        sink.op_complete("client.create", 0.0, float(i * 10 + 5))
+    for i in range(10):  # all errors in window 4
+        sink.op_complete("client.create", 0.0, 400.0 + i, error="FSError")
+    obj = Objective("client.create", "availability", 0.99)
+    burns = burn_timeline(obj, sink)
+    assert burns[0] == 0.0
+    assert burns[4] == pytest.approx(100.0)  # 100% bad / 1% allowance
+    assert max(burns) == burns[4]
+
+
+def test_multiwindow_burn_rates_fast_vs_slow():
+    # clean early run, errors only at the very end: the fast (recent)
+    # burn must exceed the slow (long-horizon) burn
+    sink = TelemetrySink(window_us=100.0, max_windows=128)
+    for i in range(90):
+        sink.op_complete("client.create", 0.0, float(i * 100 + 50))
+    for i in range(10):
+        sink.op_complete("client.create", 0.0, 9_000.0 + i * 100,
+                         error="FSError")
+    spec = SLOSpec("t", [Objective("client.create", "availability", 0.99)])
+    report = evaluate_slo(spec, sink)
+    [entry] = report["objectives"]
+    assert entry["burn"]["fast"] >= entry["burn"]["slow"] > 0.0
+
+
+def test_format_slo_renders_table():
+    sink = _sink_with(good=10, latency_us=100.0)
+    text = format_slo(evaluate_slo(default_spec(), sink))
+    assert "client.create:availability" in text
+    assert "PASS" in text and "verdict" in text
+
+
+# ---------------------------------------------------------------------------
+# the fig16 acceptance gate
+# ---------------------------------------------------------------------------
+
+def _crash_slo(system):
+    from repro.harness.availability import run_availability
+
+    sink = TelemetrySink()
+    run_availability(system, 4, crash_server="dms", num_clients=4,
+                     items_per_client=20, telemetry=sink)
+    return evaluate_slo(default_spec(), sink)
+
+
+def test_fig16_locofs_c_passes_default_slo():
+    report = _crash_slo("locofs-c")
+    assert report["ok"], format_slo(report)
+
+
+def test_fig16_locofs_nc_burns_availability_budget():
+    report = _crash_slo("locofs-nc")
+    assert not report["ok"], format_slo(report)
+    avail = next(e for e in report["objectives"]
+                 if e["objective"].endswith("availability"))
+    assert avail["budget_consumed"] > 1.0
+    assert avail["good_fraction"] < 0.95
