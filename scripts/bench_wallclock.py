@@ -30,12 +30,25 @@ Usage (from the repo root):
         --check-against BENCH_wallclock.json --max-regression 2.0
 
 ``--check-against`` compares this run's ``event_fig8`` ops/s with the most
-recent recorded entry of the same mode and exits non-zero only on a gross
-(>``--max-regression``x) slowdown; CI uses it as a canary that tolerates
-runner noise.  ``--repeat N`` runs every benchmark N times and records the
-median-by-ops/s run, which CI uses to damp scheduler jitter.
-``--check-overhead`` additionally fails the run if ``obs_overhead``'s
-attached/unattached ratio exceeds ``--max-overhead`` (default 1.15).
+recent recorded entry of the same mode *and shard count* and exits non-zero
+only on a gross (>``--max-regression``x) slowdown; CI uses it as a canary
+that tolerates runner noise.  ``--repeat N`` runs every benchmark N times
+and records the median-by-ops/s run, which CI uses to damp scheduler
+jitter.  ``--check-overhead`` additionally fails the run if
+``obs_overhead``'s attached/unattached ratio exceeds ``--max-overhead``
+(default 1.15).
+
+Two scale-ceiling benchmarks are **opt-in** (they only run when named in
+``--only``): ``namespace_build_10m`` (ten million files through the
+write-behind client's ``create_many`` bulk path) and ``event_fig8_xl``
+(the fig8 contention run at 10x Table-3 client counts).
+
+``--shards N`` runs every engine-backed benchmark through the sharded
+simulation (:mod:`repro.sim.shard`, DESIGN §10); virtual-time results are
+bit-identical, wall-clock is recorded per shard count.  ``--profile-out
+FILE`` wraps the benchmark pass in :mod:`cProfile` and dumps pstats data
+(see EXPERIMENTS.md for how to read it); profiled runs are never recorded
+or gated — the profiler itself slows the simulator ~3x.
 """
 
 from __future__ import annotations
@@ -62,6 +75,10 @@ SCALES = {
         "ns_files_per_dir": 1000,
         "overhead_items": 100,
         "overhead_pairs": 10,
+        "ns10m_dirs": 10_000,
+        "ns10m_files_per_dir": 1000,
+        "xl_event_items": 150,
+        "xl_client_scale": 10.0,
     },
     "quick": {
         "direct_items": 60,
@@ -72,8 +89,16 @@ SCALES = {
         "ns_files_per_dir": 500,
         "overhead_items": 60,
         "overhead_pairs": 10,
+        "ns10m_dirs": 20,
+        "ns10m_files_per_dir": 500,
+        "xl_event_items": 10,
+        "xl_client_scale": 10.0,
     },
 }
+
+#: benchmarks that only run when explicitly named in --only (scale ceilings,
+#: minutes of wall each at full scale)
+OPT_IN = frozenset({"namespace_build_10m", "event_fig8_xl"})
 
 
 def bench_direct_mdtest(scale: dict) -> dict:
@@ -81,13 +106,13 @@ def bench_direct_mdtest(scale: dict) -> dict:
 
     n = scale["direct_items"]
     t0 = time.perf_counter()
-    rec = run_latency("locofs-c", 4, n_items=n)
+    rec = run_latency("locofs-c", 4, n_items=n, shards=scale.get("shards", 1))
     wall = time.perf_counter() - t0
     ops = sum(rec.count(op) for op in LATENCY_OPS)
     return {"ops": ops, "wall_s": wall, "ops_per_s": ops / wall}
 
 
-def bench_event_fig8(scale: dict) -> dict:
+def _bench_event(scale: dict, items: int, client_scale: float) -> dict:
     from repro.harness.runner import run_throughput
 
     t0 = time.perf_counter()
@@ -95,8 +120,9 @@ def bench_event_fig8(scale: dict) -> dict:
         "locofs-c",
         scale["event_servers"],
         op="touch",
-        items_per_client=scale["event_items"],
-        client_scale=1.0,
+        items_per_client=items,
+        client_scale=client_scale,
+        shards=scale.get("shards", 1),
     )
     wall = time.perf_counter() - t0
     return {
@@ -106,6 +132,15 @@ def bench_event_fig8(scale: dict) -> dict:
         "ops_per_s": r.total_ops / wall,
         "virtual_iops": r.iops,
     }
+
+
+def bench_event_fig8(scale: dict) -> dict:
+    return _bench_event(scale, scale["event_items"], 1.0)
+
+
+def bench_event_fig8_xl(scale: dict) -> dict:
+    """fig8 at 10x Table-3 client counts — the client-scale ceiling."""
+    return _bench_event(scale, scale["xl_event_items"], scale["xl_client_scale"])
 
 
 def bench_kv_micro(scale: dict) -> dict:
@@ -133,20 +168,36 @@ def bench_kv_micro(scale: dict) -> dict:
     return {"ops": ops, "wall_s": wall, "ops_per_s": ops / wall}
 
 
-def bench_namespace_build(scale: dict) -> dict:
+def _build_batched_locofs(max_ops: int, max_bytes: int, shards: int):
     from repro.common.config import BatchConfig, ClusterConfig
     from repro.core.fs import LocoFS
+    from repro.sim.shard import shard_system
 
-    dirs, files = scale["ns_dirs"], scale["ns_files_per_dir"]
+    system = LocoFS(
+        ClusterConfig(num_metadata_servers=4,
+                      batch=BatchConfig(enabled=True, max_ops=max_ops,
+                                        max_bytes=max_bytes)),
+        engine_kind="direct",
+    )
+    return shard_system(system, shards)
+
+
+def _count_files(system) -> int:
+    """Total file count; under sharding the live FMS tables are in the
+    workers, so sum via the shard group's control-plane call."""
+    group = getattr(system, "shard_group", None)
+    if group is not None:
+        return sum(group.call(name, "num_files_fast")
+                   for name in system.fms_names)
+    return system.total_files_fast()
+
+
+def bench_namespace_build(scale: dict) -> dict:
     # bulk-load shape: a large write-behind budget amortizes the per-flush
     # round trip across 64 creates (the LocoFS-B default of 8 targets
     # latency-sensitive interactive workloads, not namespace loads)
-    system = LocoFS(
-        ClusterConfig(num_metadata_servers=4,
-                      batch=BatchConfig(enabled=True, max_ops=64,
-                                        max_bytes=65536)),
-        engine_kind="direct",
-    )
+    dirs, files = scale["ns_dirs"], scale["ns_files_per_dir"]
+    system = _build_batched_locofs(64, 65536, scale.get("shards", 1))
     client = system.client()
     t0 = time.perf_counter()
     for d in range(dirs):
@@ -155,7 +206,35 @@ def bench_namespace_build(scale: dict) -> dict:
             client.create(f"/d{d:05d}/f{f:06d}")
     client.flush()
     wall = time.perf_counter() - t0
-    assert system.total_files() == dirs * files
+    assert _count_files(system) == dirs * files
+    ops = dirs * (files + 1)
+    close = getattr(system, "close", None)
+    if close:
+        close()
+    return {"ops": ops, "files": dirs * files, "wall_s": wall, "ops_per_s": ops / wall}
+
+
+def bench_namespace_build_10m(scale: dict) -> dict:
+    """Ten million files through the bulk ``create_many`` client path.
+
+    The ISSUE-7 scale ceiling: 10,000 dirs x 1,000 files with a 256-op
+    write-behind budget.  ``create_many`` amortizes the per-create client
+    software path (path resolution, cache probes, permission checks) over
+    each flush epoch; virtual-time results stay identical to one
+    ``create()`` per file except for client cache-hit accounting.
+    """
+    dirs, files = scale["ns10m_dirs"], scale["ns10m_files_per_dir"]
+    system = _build_batched_locofs(256, 1 << 20, scale.get("shards", 1))
+    client = system.client()
+    names = [f"f{f:06d}" for f in range(files)]
+    t0 = time.perf_counter()
+    for d in range(dirs):
+        parent = f"/d{d:05d}"
+        client.mkdir(parent)
+        client.create_many(parent, names)
+    client.flush()
+    wall = time.perf_counter() - t0
+    assert _count_files(system) == dirs * files
     ops = dirs * (files + 1)
     close = getattr(system, "close", None)
     if close:
@@ -188,6 +267,7 @@ def bench_obs_overhead(scale: dict) -> dict:
             items_per_client=scale["overhead_items"],
             client_scale=1.0,
             telemetry=telemetry,
+            shards=scale.get("shards", 1),
         )
         return r, time.perf_counter() - t0
 
@@ -232,8 +312,10 @@ def bench_obs_overhead(scale: dict) -> dict:
 BENCHMARKS = {
     "direct_mdtest": bench_direct_mdtest,
     "event_fig8": bench_event_fig8,
+    "event_fig8_xl": bench_event_fig8_xl,
     "kv_micro": bench_kv_micro,
     "namespace_build": bench_namespace_build,
+    "namespace_build_10m": bench_namespace_build_10m,
     "obs_overhead": bench_obs_overhead,
 }
 
@@ -273,12 +355,15 @@ def git_commit() -> str:
 
 
 def run_benchmarks(mode: str, only: list[str] | None = None,
-                   repeat: int = 1) -> dict:
-    scale = SCALES[mode]
+                   repeat: int = 1, shards: int = 1) -> dict:
+    scale = dict(SCALES[mode])
+    scale["shards"] = shards
     results = {}
     for name, fn in BENCHMARKS.items():
         if only and name not in only:
             continue
+        if not only and name in OPT_IN:
+            continue  # scale ceilings run only when asked for by name
         print(f"[bench] {name} ({mode}) ...", flush=True)
         runs = []
         for i in range(repeat):
@@ -305,8 +390,11 @@ def load_doc(path: Path) -> dict:
 def check_regression(doc: dict, entry: dict, max_regression: float) -> int:
     """Exit status: non-zero only on a gross event_fig8 slowdown."""
     ref = None
+    shards = entry.get("shards", 1)
     for prev in reversed(doc["entries"]):
-        if prev["mode"] == entry["mode"] and "event_fig8" in prev["benchmarks"]:
+        if (prev["mode"] == entry["mode"]
+                and prev.get("shards", 1) == shards
+                and "event_fig8" in prev["benchmarks"]):
             ref = prev
             break
     if ref is None or "event_fig8" not in entry["benchmarks"]:
@@ -364,17 +452,41 @@ def main() -> int:
     ap.add_argument("--attribution-out", default=None, metavar="FILE",
                     help="also run a traced fig8 pass and write the "
                          "repro.obs.analyze attribution report as JSON")
+    ap.add_argument("--shards", type=int, default=1, metavar="N",
+                    help="run engine-backed benchmarks through N sharded "
+                         "worker processes (bit-identical virtual time)")
+    ap.add_argument("--profile-out", default=None, metavar="FILE",
+                    help="cProfile the benchmark pass and dump pstats data "
+                         "to FILE; implies --no-record and skips gates "
+                         "(the profiler distorts wall times ~3x)")
     args = ap.parse_args()
 
     mode = "quick" if args.quick else "full"
+    profiler = None
+    if args.profile_out:
+        import cProfile
+
+        print("[bench] profiling enabled: results will NOT be recorded or "
+              "gated (cProfile distorts wall times ~3x)", flush=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+    benchmarks = run_benchmarks(mode, args.only, repeat=max(1, args.repeat),
+                                shards=max(1, args.shards))
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile_out)
+        print(f"[bench] pstats dump -> {args.profile_out} "
+              "(see EXPERIMENTS.md: 'Profiling the simulator')")
     entry = {
         "label": args.label or git_commit(),
         "commit": git_commit(),
         "mode": mode,
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "benchmarks": run_benchmarks(mode, args.only, repeat=max(1, args.repeat)),
+        "benchmarks": benchmarks,
     }
+    if args.shards > 1:
+        entry["shards"] = args.shards
 
     if args.attribution_out:
         print(f"[bench] attribution ({mode}) ...", flush=True)
@@ -385,10 +497,12 @@ def main() -> int:
     out = Path(args.out)
     doc = load_doc(out)
     status = 0
-    if args.check_against:
+    if args.profile_out:
+        args.no_record = True  # profiled numbers must never enter the record
+    elif args.check_against:
         status = check_regression(load_doc(Path(args.check_against)), entry,
                                   args.max_regression)
-    if args.check_overhead:
+    if args.check_overhead and not args.profile_out:
         status = check_overhead(entry, args.max_overhead) or status
     if not args.no_record:
         doc["entries"].append(entry)

@@ -206,14 +206,28 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _check_shards(args, registry) -> int | None:
+    """Sharded runs carry telemetry but not metrics (DESIGN §10)."""
+    if getattr(args, "shards", 1) > 1 and registry is not None:
+        print("error: --shards does not support --metrics/--metrics-out "
+              "(worker processes cannot feed a driver-side registry); "
+              "use --telemetry-out instead", file=sys.stderr)
+        return 2
+    return None
+
+
 def _cmd_latency(args) -> int:
     from repro.harness import run_latency
 
     system = _SYSTEM_ALIASES.get(args.system, args.system)
     registry = _metrics_registry(args)
     sink = _telemetry_sink(args)
+    err = _check_shards(args, registry)
+    if err is not None:
+        return err
     rec = run_latency(system, args.num_servers, n_items=args.items,
-                      depth=args.depth, metrics=registry, telemetry=sink)
+                      depth=args.depth, metrics=registry, telemetry=sink,
+                      shards=args.shards)
     print(f"latency of {system} at {args.num_servers} server(s), "
           f"{args.items} items, depth {args.depth}:")
     for op in rec.ops():
@@ -230,9 +244,12 @@ def _cmd_throughput(args) -> int:
     system = _SYSTEM_ALIASES.get(args.system, args.system)
     registry = _metrics_registry(args)
     sink = _telemetry_sink(args)
+    err = _check_shards(args, registry)
+    if err is not None:
+        return err
     r = run_throughput(system, args.num_servers, op=args.op,
                        items_per_client=args.items, client_scale=args.client_scale,
-                       metrics=registry, telemetry=sink)
+                       metrics=registry, telemetry=sink, shards=args.shards)
     print(f"{system} {args.op} @ {args.num_servers} server(s): "
           f"{r.iops:,.0f} IOPS ({r.num_clients} clients, {r.total_ops} ops, "
           f"{r.elapsed_us/1e6:.3f} virtual s)")
@@ -527,6 +544,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("-n", "--num-servers", type=int, default=4)
     p.add_argument("--items", type=int, default=50)
     p.add_argument("--depth", type=int, default=1)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the servers across N worker processes "
+                        "(bit-identical virtual time; see DESIGN §10)")
 
     p = sub.add_parser("throughput", help="closed-loop throughput of one system",
                        parents=[obs])
@@ -535,6 +555,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--op", default="touch")
     p.add_argument("--items", type=int, default=30)
     p.add_argument("--client-scale", type=float, default=0.5)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the servers across N worker processes "
+                        "(bit-identical virtual time; see DESIGN §10)")
 
     p = sub.add_parser(
         "availability", help="crash/recover one server mid-run, report goodput",

@@ -78,6 +78,25 @@ def split(path: str) -> tuple[str, str]:
     return parent, path[idx + 1 :]
 
 
+def split_fast(path: str) -> tuple[str, str]:
+    """:func:`split`, bypassing the memo for already-canonical paths.
+
+    Unique-path hot loops (namespace builds, per-file create storms) never
+    revisit a path, so for them the ``lru_cache`` layers of
+    :func:`normalize`/:func:`split` are pure overhead: every call pays a
+    miss *plus* an eviction.  This helper answers canonical paths with one
+    scan and a slice and defers everything else — root, trailing slash,
+    dot components, over-long or invalid paths — to :func:`split`, so the
+    result (and every raised error) is identical.
+    """
+    if (0 < len(path) <= MAX_NAME and path[0] == SEP and path[-1] != SEP
+            and "//" not in path and "/." not in path
+            and "\x00" not in path):
+        idx = path.rfind(SEP)
+        return path[:idx] or ROOT, path[idx + 1:]
+    return split(path)
+
+
 def parent_of(path: str) -> str:
     return split(path)[0]
 

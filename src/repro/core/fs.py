@@ -132,6 +132,10 @@ class LocoFS:
     def total_files(self) -> int:
         return sum(s.num_files() for s in self.fms)
 
+    def total_files_fast(self) -> int:
+        """Charge-free total via the FMS-maintained counters (O(servers))."""
+        return sum(s.num_files_fast() for s in self.fms)
+
     def total_directories(self) -> int:
         return self.dms.num_directories()
 

@@ -41,11 +41,13 @@ EVENT_ITEMS = 8
 EVENT_CLIENT_SCALE = 0.2
 
 
-def _direct_clock(name: str) -> float:
+def _direct_clock(name: str, shards: int = 1) -> float:
     """Final DirectEngine clock after a fixed mkdir/create/stat/unlink mix."""
     from repro.harness.registry import make_system
+    from repro.sim.shard import shard_system
 
     system = make_system(name, NUM_SERVERS, cost=CostModel(), engine_kind="direct")
+    system = shard_system(system, shards)
     client = system.client()
     wl = Workload(items_per_client=N_ITEMS, depth=2)
     for path in wl.dir_chain(0):
@@ -67,9 +69,14 @@ def _direct_clock(name: str) -> float:
     return now
 
 
-def fingerprint_system(name: str) -> dict:
-    """Exact virtual-time fingerprint of one system on the fixed workload."""
-    rec = run_latency(name, NUM_SERVERS, n_items=N_ITEMS)
+def fingerprint_system(name: str, shards: int = 1) -> dict:
+    """Exact virtual-time fingerprint of one system on the fixed workload.
+
+    ``shards > 1`` runs every phase through :mod:`repro.sim.shard`; the
+    fingerprint must stay bit-identical to the single-process one (the
+    sharded determinism golden asserts exactly that).
+    """
+    rec = run_latency(name, NUM_SERVERS, n_items=N_ITEMS, shards=shards)
     stats = {}
     for op in LATENCY_OPS:
         s = rec.summary(op)
@@ -80,9 +87,10 @@ def fingerprint_system(name: str) -> dict:
         op="touch",
         items_per_client=EVENT_ITEMS,
         client_scale=EVENT_CLIENT_SCALE,
+        shards=shards,
     )
     return {
-        "direct_now_us": _direct_clock(name),
+        "direct_now_us": _direct_clock(name, shards=shards),
         "latency_stats": stats,
         "event_elapsed_us": tp.elapsed_us,
         "event_total_ops": tp.total_ops,
@@ -90,7 +98,7 @@ def fingerprint_system(name: str) -> dict:
     }
 
 
-def determinism_fingerprint(systems=GOLDEN_SYSTEMS) -> dict:
+def determinism_fingerprint(systems=GOLDEN_SYSTEMS, shards: int = 1) -> dict:
     return {
         "schema": 1,
         "workload": {
@@ -99,7 +107,8 @@ def determinism_fingerprint(systems=GOLDEN_SYSTEMS) -> dict:
             "event_items": EVENT_ITEMS,
             "event_client_scale": EVENT_CLIENT_SCALE,
         },
-        "systems": {name: fingerprint_system(name) for name in systems},
+        "systems": {name: fingerprint_system(name, shards=shards)
+                    for name in systems},
     }
 
 

@@ -61,15 +61,19 @@ def run_latency(
     tracer=None,
     metrics=None,
     telemetry=None,
+    shards: int = 1,
 ) -> LatencyRecorder:
     """Run the mdtest latency phases; returns per-op latency samples (µs).
 
     ``tracer``/``metrics``/``telemetry`` (see :mod:`repro.obs`) opt the
     run into span tracing, bounded metrics, and streaming windowed
     telemetry; with none (and no process-wide defaults set) nothing is
-    recorded beyond the exact samples.
+    recorded beyond the exact samples.  ``shards > 1`` partitions the
+    servers across worker processes (:mod:`repro.sim.shard`) with
+    bit-identical virtual time.
     """
     from repro.obs import get_default_registry, get_default_telemetry
+    from repro.sim.shard import shard_system
 
     cost = cost or CostModel()
     if metrics is None:
@@ -77,6 +81,7 @@ def run_latency(
     if telemetry is None:
         telemetry = get_default_telemetry()
     system = make_system(system_name, num_servers, cost=cost, engine_kind="direct")
+    system = shard_system(system, shards)
     engine = system.engine
     if tracer is not None or metrics is not None or telemetry is not None:
         engine.attach_observability(tracer=tracer, metrics=metrics,

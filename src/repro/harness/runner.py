@@ -87,10 +87,25 @@ def _measured_gen(client, wl: Workload, cid: int, op: str, cost: CostModel, box:
             op_complete(name, t0, clock.now)
             box["ops"] += 1
     else:
-        for n in range(wl.items_per_client):
-            yield overhead
-            yield from client.op_generator(*_op_call(op, wl, cid, n))
-            box["ops"] += 1
+        eng = getattr(client, "_engine", None)
+        try:
+            bare = (eng.tracer is None and eng.metrics is None
+                    and eng.telemetry is None)
+        except AttributeError:
+            bare = True
+        op_raw = getattr(client, "op_raw", None)
+        if bare and op_raw is not None:
+            # nothing attached: op_generator would hand back the raw
+            # generator after re-checking the sinks per op — skip that
+            for n in range(wl.items_per_client):
+                yield overhead
+                yield from op_raw(*_op_call(op, wl, cid, n))
+                box["ops"] += 1
+        else:
+            for n in range(wl.items_per_client):
+                yield overhead
+                yield from client.op_generator(*_op_call(op, wl, cid, n))
+                box["ops"] += 1
     yield from _drain_writebehind(client)
 
 
@@ -124,6 +139,7 @@ def run_throughput(
     metrics=None,
     telemetry=None,
     system_factory=None,
+    shards: int = 1,
 ) -> ThroughputResult:
     """One throughput cell: (system, op, #servers) -> aggregate IOPS.
 
@@ -135,8 +151,14 @@ def run_throughput(
     ``system_factory`` overrides system construction (it must return an
     event-engine deployment); ``system_name`` then only labels the result
     — fig15 uses this to sweep non-default batch budgets.
+
+    ``shards > 1`` partitions the servers across forked worker processes
+    (:mod:`repro.sim.shard`); virtual-time results are bit-identical to
+    the single-process run (pinned by the sharded determinism golden).
+    Sharded runs support telemetry but not tracing/metrics/faults.
     """
     from repro.obs import get_default_registry, get_default_telemetry
+    from repro.sim.shard import shard_system
 
     cost = cost or CostModel()
     if metrics is None:
@@ -149,6 +171,7 @@ def run_throughput(
         system = system_factory()
     else:
         system = make_system(system_name, num_servers, cost=cost, engine_kind="event")
+    system = shard_system(system, shards)
     engine = system.engine
     if tracer is not None or metrics is not None or telemetry is not None:
         engine.attach_observability(tracer=tracer, metrics=metrics,

@@ -51,6 +51,48 @@ class HashStore(KVStore):
     def __len__(self) -> int:
         return len(self._data)
 
+    def put_pair(self, k1: bytes, v1: bytes, k2: bytes, v2: bytes) -> None:
+        """Two puts in one call (the decoupled-inode write: access+content).
+
+        Metering is bit-identical to ``put(k1, v1)`` + ``put(k2, v2)``
+        (same ops, same byte counts, same order via
+        :meth:`Meter.charge_many`); the create hot path pays one store
+        frame instead of two.
+        """
+        self._meter.charge_many((("put", len(k1) + len(v1)),
+                                 ("put", len(k2) + len(v2))))
+        wal = self._wal
+        if wal is not None:
+            wal.append_put(k1, v1)
+            wal.append_put(k2, v2)
+        data = self._data
+        data[k1] = v1
+        data[k2] = v2
+
+    def append(self, key: bytes, value: bytes) -> None:
+        """Read-modify-write append with both charges folded into one call.
+
+        Metering is bit-identical to the default ``get(key)`` +
+        ``put(key, cur + value)`` (same ops, same byte counts, same
+        order — :meth:`Meter.charge_many` adds sequentially), but the
+        dirent-append hot path pays one meter call instead of two plus a
+        ``get``/``put`` frame each.
+        """
+        data = self._data
+        cur = data.get(key)
+        klen = len(key)
+        if cur is None:
+            new = value
+            self._meter.charge_many((("get", klen),
+                                     ("put", klen + len(value))))
+        else:
+            new = cur + value
+            self._meter.charge_many((("get", klen + len(cur)),
+                                     ("put", klen + len(new))))
+        if self._wal is not None:
+            self._wal.append_put(key, new)
+        data[key] = new
+
     # -- batched point ops ---------------------------------------------------------
     def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
         data = self._data

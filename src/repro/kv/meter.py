@@ -21,13 +21,20 @@ class CostPolicy(Protocol):
 
 
 class Meter:
-    """Accumulates modeled virtual time and op counts for one store."""
+    """Accumulates modeled virtual time and op counts for one store.
 
-    __slots__ = ("policy", "total_us", "op_counts", "byte_counts", "trace",
-                 "_registry", "_prefix")
+    When the attached policy exposes a ``_base`` table and ``_per_byte``
+    rate (the :class:`~repro.sim.costmodel.KVCostPolicy` fast-path
+    contract), :meth:`charge` inlines the cost arithmetic — one dict
+    lookup plus one multiply-add, no policy call frame.  The expression is
+    the same floats in the same order as ``policy.cost_us``, so virtual
+    time is bit-identical; any other policy falls back to calling it.
+    """
+
+    __slots__ = ("_policy", "total_us", "op_counts", "byte_counts", "trace",
+                 "_registry", "_prefix", "_base", "_per_byte")
 
     def __init__(self, policy: CostPolicy | None = None):
-        self.policy = policy
         self.total_us = 0.0
         self.op_counts: dict[str, int] = {}
         self.byte_counts: dict[str, int] = {}
@@ -36,6 +43,18 @@ class Meter:
         self.trace = None
         self._registry = None
         self._prefix = ""
+        self.policy = policy
+
+    @property
+    def policy(self) -> CostPolicy | None:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: CostPolicy | None) -> None:
+        self._policy = policy
+        # snapshot the fast-path table when the policy offers one
+        self._base = getattr(policy, "_base", None)
+        self._per_byte = getattr(policy, "_per_byte", 0.0)
 
     def bind_registry(self, registry, prefix: str = "kv.") -> None:
         """Mirror op counts into ``registry`` as ``<prefix><op>`` counters.
@@ -49,7 +68,7 @@ class Meter:
 
     def charge(self, op: str, nbytes: int = 0) -> None:
         # hottest call in a metered run: keep it to plain dict ops and one
-        # policy call, with the rare hooks (registry, trace) behind None
+        # multiply-add, with the rare hooks (registry, trace) behind None
         # tests; try/except beats .get once the op key exists (always,
         # after the first charge of each kind)
         try:
@@ -60,14 +79,57 @@ class Meter:
             self.byte_counts[op] += nbytes
         except KeyError:
             self.byte_counts[op] = nbytes
-        policy = self.policy
-        if policy is not None:
-            cost = policy.cost_us(op, nbytes)
+        base = self._base
+        if base is not None:
+            try:
+                cost = base[op] + nbytes * self._per_byte
+            except KeyError:
+                cost = 0.0 + nbytes * self._per_byte
             self.total_us += cost
             if self.trace is not None:
                 self.trace.kv(op, nbytes, cost)
+        else:
+            policy = self._policy
+            if policy is not None:
+                cost = policy.cost_us(op, nbytes)
+                self.total_us += cost
+                if self.trace is not None:
+                    self.trace.kv(op, nbytes, cost)
         if self._registry is not None:
             self._registry.counter(self._prefix + op).inc()
+
+    def charge_many(self, items) -> None:
+        """Charge a sequence of ``(op, nbytes)`` pairs in one call.
+
+        Bit-identical to calling :meth:`charge` once per pair in order
+        (the accumulation is the same sequential adds, hoisted into a
+        local), but pays the method-call overhead once per batch.  Falls
+        back to per-pair :meth:`charge` whenever a hook (trace, registry)
+        or a non-table policy is active.
+        """
+        base = self._base
+        if base is None or self.trace is not None or self._registry is not None:
+            for op, nbytes in items:
+                self.charge(op, nbytes)
+            return
+        op_counts = self.op_counts
+        byte_counts = self.byte_counts
+        per_byte = self._per_byte
+        total = self.total_us
+        for op, nbytes in items:
+            try:
+                op_counts[op] += 1
+            except KeyError:
+                op_counts[op] = 1
+            try:
+                byte_counts[op] += nbytes
+            except KeyError:
+                byte_counts[op] = nbytes
+            try:
+                total = total + (base[op] + nbytes * per_byte)
+            except KeyError:
+                total = total + (0.0 + nbytes * per_byte)
+        self.total_us = total
 
     def charge_repeat(self, op: str, n: int) -> None:
         """Exactly ``n`` zero-byte charges of ``op`` in one call.
@@ -85,8 +147,21 @@ class Meter:
             self.op_counts[op] = n
         if op not in self.byte_counts:
             self.byte_counts[op] = 0
-        policy = self.policy
-        if policy is not None:
+        base = self._base
+        policy = self._policy
+        if base is not None:
+            cost = base.get(op, 0.0)
+            trace = self.trace
+            if trace is None:
+                total = self.total_us
+                for _ in range(n):
+                    total = total + cost
+                self.total_us = total
+            else:
+                for _ in range(n):
+                    self.total_us += cost
+                    trace.kv(op, 0, cost)
+        elif policy is not None:
             cost = policy.cost_us(op, 0)
             trace = self.trace
             for _ in range(n):

@@ -113,6 +113,25 @@ class ConsistentHashRing:
             cache[key] = name
         return name
 
+    def lookup_novel(self, key: bytes) -> str:
+        """:meth:`lookup` minus the per-ring memo, for callers that memoize.
+
+        ``LocoClient._fms_for`` keeps its own (dir_uuid, name) placement
+        cache, so a key that reaches the ring is (almost) always novel:
+        reading *and writing* ``_lookup_cache`` for it is pure overhead —
+        under a unique-key storm (a namespace build) every entry is a
+        miss plus an eviction.  Same hash, same bisect, same answer as
+        :meth:`lookup`; just no memo traffic.
+        """
+        ring = self._ring
+        if not ring:
+            raise RuntimeError("ring is empty")
+        points = self._points
+        idx = bisect.bisect_right(points, _hash64(key))
+        if idx == len(points):
+            idx = 0
+        return ring[idx][1]
+
     def lookup_n(self, key: bytes | str, n: int) -> list[str]:
         """The first ``n`` distinct nodes walking clockwise from the key —
         the classic replica-set selection on a consistent-hash ring.

@@ -138,7 +138,25 @@ class CostModel:
         return self.restart_fixed_us + replayed_bytes / self.wal_replay_bpus
 
     def _kv_base_us(self) -> dict:
-        """Base (byte-independent) cost per KV op kind."""
+        """Base (byte-independent) cost per KV op kind.
+
+        Memoized per instance: the table is rebuilt only when one of the
+        source constants actually changed (the dataclass is mutable, so a
+        cheap source-tuple comparison guards the cache).  ``kv_cost_us``
+        used to rebuild this dict on *every* call — a measurable slice of
+        any metered hot loop.
+        """
+        src = (self.kv_get_us, self.kv_put_us, self.kv_delete_us,
+               self.kv_append_us, self.kv_seek_us, self.kv_scan_record_us,
+               self.kv_batch_record_us)
+        cached = self.__dict__.get("_kv_base_cache")
+        if cached is not None and cached[0] == src:
+            return cached[1]
+        table = self._kv_base_build()
+        self.__dict__["_kv_base_cache"] = (src, table)
+        return table
+
+    def _kv_base_build(self) -> dict:
         return {
             "get": self.kv_get_us,
             "put": self.kv_put_us,

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable, Generator
+from heapq import heappush
 
 from repro.common.errors import FSError, ServerDown
 from repro.obs.tracer import KVTraceSink
@@ -234,6 +235,10 @@ class _ObservableEngine:
         child span on the server track, positioned by the meter's running
         total so the per-record KV breakdown nests under it.
         """
+        if node.remote:
+            # sharded run: the whole batch crosses to the owning worker in
+            # one exchange and runs under the worker's own group commit
+            return node.exec_batch_remote(batch)
         results = []
         first_err: FSError | None = None
         gc = node.group_commit
@@ -477,7 +482,10 @@ class DirectEngine(_ObservableEngine):
             self.now = start + service
             telemetry = self.telemetry
             if self.tracer is None and self.metrics is None:
-                if telemetry is not None:
+                # a remote node's worker records this request itself (it
+                # knows the same arrive/start/service); recording it here
+                # too would double-count after the shard merge
+                if telemetry is not None and not node.remote:
                     telemetry.rpc_complete(rpc.server, arrive, start, service)
             else:
                 self._record_service(rpc, rpc_span, arrive, start, service)
@@ -543,7 +551,8 @@ class DirectEngine(_ObservableEngine):
         self.now = start + service
         telemetry = self.telemetry
         if self.tracer is None and self.metrics is None:
-            if telemetry is not None:
+            # remote batches are recorded by the owning shard worker
+            if telemetry is not None and not node.remote:
                 telemetry.rpc_complete(batch.server, arrive, start, service,
                                        n_ops=len(batch.rpcs), batch=True)
         else:
@@ -642,6 +651,30 @@ class DirectEngine(_ObservableEngine):
         self.cluster.reset_load()
 
 
+class _Proc:
+    """Preallocated continuation slots for one spawned client process.
+
+    The stepping hot path used to pack a fresh five-item argument tuple
+    ``(gen, state, on_done, value, exc)`` for every scheduled resume.  A
+    proc is allocated once per generator; every resume event carries the
+    same preallocated ``slot`` tuple and the resume value/exception ride
+    in the slots.  A process is blocked on exactly one continuation at a
+    time (one delay, one response, or one parallel join), so slot reuse
+    cannot clobber an in-flight resume.
+    """
+
+    __slots__ = ("gen", "state", "on_done", "value", "exc", "slot")
+
+    def __init__(self, gen, state, on_done):
+        self.gen = gen
+        self.state = state
+        self.on_done = on_done
+        self.value = None
+        self.exc = None
+        #: the one (proc,) argument tuple every resume event reuses
+        self.slot = (self,)
+
+
 class EventEngine(_ObservableEngine):
     """Discrete-event executor for many concurrent client processes."""
 
@@ -687,25 +720,34 @@ class EventEngine(_ObservableEngine):
     ) -> None:
         """Start a generator as a simulator process."""
         state = client if client is not None else self.new_client()
-        self.sim.after(0.0, self._step, gen, state, on_done, None, None)
+        proc = _Proc(gen, state, on_done)
+        # after(0.0, ...) routes to the ready queue; append directly
+        self.sim._ready.append((self._step, proc.slot))
 
     def new_client(self) -> _ClientState:
         self._n_clients += 1
         return _ClientState(f"client{self._n_clients}")
 
     # -- stepping machinery --------------------------------------------------------
-    def _step(self, gen, state, on_done, send_value, exc) -> None:
+    def _step(self, proc: _Proc) -> None:
         # synchronous commands (spans, marks, captures) are handled in
         # place and loop straight into the next send — no recursion, no
         # simulator event, no time advance
+        gen = proc.gen
+        state = proc.state
+        send_value = proc.value
+        exc = proc.exc
+        proc.value = proc.exc = None
         while True:
             try:
                 cmd = gen.throw(exc) if exc is not None else gen.send(send_value)
             except StopIteration as stop:
+                on_done = proc.on_done
                 if on_done is not None:
                     on_done(stop.value, None)
                 return
             except FSError as e:
+                on_done = proc.on_done
                 if on_done is not None:
                     on_done(None, e)
                 else:  # pragma: no cover - surfacing a bug in an op generator
@@ -716,13 +758,34 @@ class EventEngine(_ObservableEngine):
             except AttributeError:
                 raise TypeError(f"unknown engine command: {cmd!r}") from None
             if tag == TAG_RPC:
-                self._issue(gen, state, on_done, cmd, single=True)
+                self._issue(proc, cmd, single=True)
+                return
+            if tag == TAG_DELAY:  # Sleep and LocalCharge advance time alike
+                sim = self.sim
+                now = sim.now
+                t = now + cmd.us
+                if t <= now:
+                    # zero-delay continuation: ready queue, scheduling order
+                    sim._ready.append((self._step, proc.slot))
+                    return
+                heap = sim._heap
+                if not sim._ready and (not heap or heap[0][0] > t):
+                    # uncontended delay: this event would be the very next
+                    # one popped, so advance the clock in place and keep
+                    # stepping — same instant, same order, no heap churn
+                    sim.now = t
+                    send_value = None
+                    exc = None
+                    continue
+                sim._seq = seq = sim._seq + 1
+                heappush(heap, (t, seq, self._step, proc.slot))
                 return
             if tag == TAG_PARALLEL:
                 rpcs = cmd.rpcs
                 n = len(rpcs)
                 if n == 0:
-                    self.sim.after(0.0, self._step, gen, state, on_done, [], None)
+                    proc.value = []
+                    self.sim._ready.append((self._step, proc.slot))
                     return
                 pending = {"n": n, "results": [None] * n, "err": None}
                 # the client uplink serializes request payloads: branch i
@@ -730,13 +793,10 @@ class EventEngine(_ObservableEngine):
                 uplink = 0.0
                 transfer_us = self.cost.transfer_us
                 for i, rpc in enumerate(rpcs):
-                    self._issue(gen, state, on_done, rpc, single=False,
+                    self._issue(proc, rpc, single=False,
                                 group=(pending, i), extra_delay=uplink)
                     if rpc.send_bytes:
                         uplink += transfer_us(rpc.send_bytes)
-                return
-            if tag == TAG_DELAY:  # Sleep and LocalCharge advance time alike
-                self.sim.after(cmd.us, self._step, gen, state, on_done, None, None)
                 return
             if tag == TAG_SPAN_BEGIN:
                 self._span_begin(state, cmd)
@@ -749,16 +809,17 @@ class EventEngine(_ObservableEngine):
                 send_value = state.spans[-1][0] if state.spans else None
                 continue
             elif tag == TAG_BATCH:
-                self._issue_batch(gen, state, on_done, cmd)
+                self._issue_batch(proc, cmd)
                 return
             else:
                 raise TypeError(f"unknown engine command: {cmd!r}")
             exc = None
             send_value = None
 
-    def _issue(self, gen, state, on_done, rpc: Rpc, single: bool, group=None,
+    def _issue(self, proc: _Proc, rpc: Rpc, single: bool, group=None,
                extra_delay: float = 0.0, attempt: int = 0) -> None:
         cost = self.cost
+        state = proc.state
         faults = self.faults
         if faults is not None:
             fate, extra = faults.wire_fate()
@@ -768,8 +829,8 @@ class EventEngine(_ObservableEngine):
                 if single:
                     state.last_server = rpc.server
                 state.rpcs_issued += 1
-                self._retry_rpc(gen, state, on_done, rpc, single, group,
-                                attempt, self.sim.now)
+                self._retry_rpc(proc, rpc, single, group, attempt,
+                                self.sim.now)
                 return
             if extra:
                 extra_delay += extra
@@ -785,15 +846,24 @@ class EventEngine(_ObservableEngine):
         rpc_span = None
         if self.tracer is not None:
             rpc_span = self._rpc_span(state, rpc)
+        # inlined sim.at(): the deliver time is now + delay + half-RTT with
+        # every term non-negative, so it is never in the past; == now (a
+        # zero-RTT cost model) routes to the ready queue exactly as at()
         sim = self.sim
-        deliver_at = sim.now + delay + self._half_rtt
-        sim.at(deliver_at, self._deliver, gen, state, on_done, rpc, single,
-               group, rpc_span, attempt)
+        now = sim.now
+        deliver_at = now + delay + self._half_rtt
+        args = (proc, rpc, single, group, rpc_span, attempt)
+        if deliver_at > now:
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (deliver_at, seq, self._deliver, args))
+        else:
+            sim._ready.append((self._deliver, args))
 
-    def _deliver(self, gen, state, on_done, rpc: Rpc, single: bool, group,
+    def _deliver(self, proc: _Proc, rpc: Rpc, single: bool, group,
                  rpc_span, attempt: int = 0) -> None:
         cost = self.cost
         sim = self.sim
+        state = proc.state
         faults = self.faults
         if faults is not None:
             now = sim.now
@@ -803,8 +873,7 @@ class EventEngine(_ObservableEngine):
                 # client perceives a timeout measured from the arrival
                 if rpc_span is not None:
                     self.tracer.end(rpc_span, now + cost.timeout_us)
-                self._retry_rpc(gen, state, on_done, rpc, single, group,
-                                attempt, now)
+                self._retry_rpc(proc, rpc, single, group, attempt, now)
                 return
         node: ServerNode = self._nodes[rpc.server]
         arrive = sim.now
@@ -837,9 +906,16 @@ class EventEngine(_ObservableEngine):
         if tracer is None and self.metrics is None:
             # telemetry-only fast path: one folded sink call per request
             if telemetry is not None:
-                telemetry.rpc_complete(
-                    rpc.server, arrive, start, service,
-                    depth=self._arrival_depth(rpc.server, arrive, finish))
+                if node.remote:
+                    # the shard worker records the service interval; only
+                    # the queue-depth sample is an engine-local derivative
+                    telemetry.queue_depth(
+                        rpc.server, arrive,
+                        self._arrival_depth(rpc.server, arrive, finish))
+                else:
+                    telemetry.rpc_complete(
+                        rpc.server, arrive, start, service,
+                        depth=self._arrival_depth(rpc.server, arrive, finish))
         else:
             self._record_service(rpc, rpc_span, arrive, start, service)
             if self.metrics is not None or telemetry is not None:
@@ -857,17 +933,32 @@ class EventEngine(_ObservableEngine):
         state.downlink_free = respond_at
         if rpc_span is not None:
             self.tracer.end(rpc_span, respond_at)
+        # inlined sim.at(): respond_at >= arrive + service + half-RTT, so
+        # it can only equal `now` (== arrive) under a zero-cost model —
+        # then the ready queue preserves at()'s ordering exactly
         if single:
-            sim.at(respond_at, self._step, gen, state, on_done, result, err)
+            proc.value = result
+            proc.exc = err
+            if respond_at > arrive:
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (respond_at, seq, self._step, proc.slot))
+            else:
+                sim._ready.append((self._step, proc.slot))
         else:
             pending, idx = group
-            sim.at(respond_at, self._join, gen, state, on_done, pending, idx, result, err)
+            args = (proc, pending, idx, result, err)
+            if respond_at > arrive:
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (respond_at, seq, self._join, args))
+            else:
+                sim._ready.append((self._join, args))
 
-    def _issue_batch(self, gen, state, on_done, batch: Batch,
+    def _issue_batch(self, proc: _Proc, batch: Batch,
                      attempt: int = 0) -> None:
         """Send one batched round trip: like ``_issue`` for a single RPC,
         with the sub-ops' request payloads summed on the uplink."""
         cost = self.cost
+        state = proc.state
         faults = self.faults
         lost = None
         delay = 0.0
@@ -892,15 +983,22 @@ class EventEngine(_ObservableEngine):
         if self.tracer is not None:
             span = self._batch_span(state, batch)
         sim = self.sim
-        sim.at(sim.now + delay + self._half_rtt, self._deliver_batch, gen, state,
-               on_done, batch, span, attempt, lost)
+        now = sim.now
+        deliver_at = now + delay + self._half_rtt
+        args = (proc, batch, span, attempt, lost)
+        if deliver_at > now:
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (deliver_at, seq, self._deliver_batch, args))
+        else:
+            sim._ready.append((self._deliver_batch, args))
 
-    def _deliver_batch(self, gen, state, on_done, batch: Batch, span,
+    def _deliver_batch(self, proc: _Proc, batch: Batch, span,
                        attempt: int = 0, lost=None) -> None:
         """Server-side half of a batched round trip: one FIFO queue entry,
         every sub-op served back-to-back under one group-commit scope."""
         cost = self.cost
         sim = self.sim
+        state = proc.state
         faults = self.faults
         if faults is not None:
             now = sim.now
@@ -908,7 +1006,7 @@ class EventEngine(_ObservableEngine):
             if faults.is_down(batch.server, now):
                 if span is not None:
                     self.tracer.end(span, now + cost.timeout_us)
-                self._retry_batch(gen, state, on_done, batch, attempt, now)
+                self._retry_batch(proc, batch, attempt, now)
                 return
         node: ServerNode = self._nodes[batch.server]
         arrive = sim.now
@@ -930,10 +1028,15 @@ class EventEngine(_ObservableEngine):
         telemetry = self.telemetry
         if self.tracer is None and self.metrics is None:
             if telemetry is not None:
-                telemetry.rpc_complete(
-                    batch.server, arrive, start, service,
-                    n_ops=len(batch.rpcs), batch=True,
-                    depth=self._arrival_depth(batch.server, arrive, finish))
+                if node.remote:
+                    telemetry.queue_depth(
+                        batch.server, arrive,
+                        self._arrival_depth(batch.server, arrive, finish))
+                else:
+                    telemetry.rpc_complete(
+                        batch.server, arrive, start, service,
+                        n_ops=len(batch.rpcs), batch=True,
+                        depth=self._arrival_depth(batch.server, arrive, finish))
         else:
             self._record_batch(batch, span, arrive, start, service)
             if self.metrics is not None or telemetry is not None:
@@ -944,7 +1047,7 @@ class EventEngine(_ObservableEngine):
             l_attempt, t0 = lost
             if span is not None:
                 self.tracer.end(span, t0 + cost.timeout_us)
-            self._retry_batch(gen, state, on_done, batch, l_attempt, t0)
+            self._retry_batch(proc, batch, l_attempt, t0)
             return
         reach_client = finish + self._half_rtt
         recv_bytes = 0
@@ -958,17 +1061,24 @@ class EventEngine(_ObservableEngine):
         if span is not None:
             self.tracer.end(span, respond_at)
         if first_err is not None:
-            sim.at(respond_at, self._step, gen, state, on_done, None, first_err)
+            proc.value = None
+            proc.exc = first_err
         else:
-            sim.at(respond_at, self._step, gen, state, on_done, results, None)
+            proc.value = results
+        if respond_at > arrive:
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (respond_at, seq, self._step, proc.slot))
+        else:
+            sim._ready.append((self._step, proc.slot))
 
     # -- timeout + retry scheduling (fault injection only) -------------------------
-    def _retry_rpc(self, gen, state, on_done, rpc: Rpc, single: bool, group,
+    def _retry_rpc(self, proc: _Proc, rpc: Rpc, single: bool, group,
                    attempt: int, base_t: float) -> None:
         """One failed RPC attempt: the client perceives the loss
         ``timeout_us`` after ``base_t``, then backs off and re-issues —
         or gives up with :class:`ServerDown` once the policy is spent."""
         sim = self.sim
+        state = proc.state
         policy = self.retry
         fail_at = base_t + self.cost.timeout_us
         if attempt >= policy.max_retries:
@@ -976,37 +1086,40 @@ class EventEngine(_ObservableEngine):
             err = ServerDown(rpc.server)
             at = fail_at if fail_at > sim.now else sim.now
             if group is None:
-                sim.at(at, self._step, gen, state, on_done, None, err)
+                proc.value = None
+                proc.exc = err
+                sim.at(at, self._step, proc)
             else:
                 pending, idx = group
-                sim.at(at, self._join, gen, state, on_done, pending, idx,
-                       None, err)
+                sim.at(at, self._join, proc, pending, idx, None, err)
             return
         self._fault_mark(state, "client.retry", rpc.server, fail_at,
                          counter="client.retries", attempt=attempt + 1)
         t = fail_at + policy.backoff_us(attempt, self.faults.rng)
         at = t if t > sim.now else sim.now
-        sim.at(at, self._issue, gen, state, on_done, rpc, single, group,
-               0.0, attempt + 1)
+        sim.at(at, self._issue, proc, rpc, single, group, 0.0, attempt + 1)
 
-    def _retry_batch(self, gen, state, on_done, batch: Batch, attempt: int,
+    def _retry_batch(self, proc: _Proc, batch: Batch, attempt: int,
                      base_t: float) -> None:
         """Batch flavor of :meth:`_retry_rpc` (batches are never inside a
         Parallel group, so a give-up always resumes the generator)."""
         sim = self.sim
+        state = proc.state
         policy = self.retry
         fail_at = base_t + self.cost.timeout_us
         if attempt >= policy.max_retries:
             self._fault_mark(state, "client.gaveup", batch.server, fail_at)
             err = ServerDown(batch.server)
             at = fail_at if fail_at > sim.now else sim.now
-            sim.at(at, self._step, gen, state, on_done, None, err)
+            proc.value = None
+            proc.exc = err
+            sim.at(at, self._step, proc)
             return
         self._fault_mark(state, "client.retry", batch.server, fail_at,
                          counter="client.retries", attempt=attempt + 1)
         t = fail_at + policy.backoff_us(attempt, self.faults.rng)
         at = t if t > sim.now else sim.now
-        sim.at(at, self._issue_batch, gen, state, on_done, batch, attempt + 1)
+        sim.at(at, self._issue_batch, proc, batch, attempt + 1)
 
     def _arrival_depth(self, name: str, arrive: float, finish: float) -> int:
         """Queue depth on arrival (requests ahead still queued or in
@@ -1037,13 +1150,16 @@ class EventEngine(_ObservableEngine):
             metrics.timeseries(f"{name}.utilization").sample(finish, frac)
             self._util_mark[name] = (finish, node.busy_us)
 
-    def _join(self, gen, state, on_done, pending, idx, result, err) -> None:
+    def _join(self, proc: _Proc, pending, idx, result, err) -> None:
         pending["results"][idx] = result
         if err is not None and pending["err"] is None:
             pending["err"] = err
         pending["n"] -= 1
         if pending["n"] == 0:
             if pending["err"] is not None:
-                self._step(gen, state, on_done, None, pending["err"])
+                proc.value = None
+                proc.exc = pending["err"]
             else:
-                self._step(gen, state, on_done, pending["results"], None)
+                proc.value = pending["results"]
+                proc.exc = None
+            self._step(proc)

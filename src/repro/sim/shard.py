@@ -1,0 +1,406 @@
+"""Deterministic sharded execution: one cluster, N worker processes.
+
+(DESIGN §10 "Sharded simulation".)  The driver process keeps the
+simulation kernel — the event heap, the virtual clock, every client
+generator, and all queueing arithmetic (``next_free``/``busy_us``) —
+while the *handlers* (DMS/FMS/MDS/object servers and their KV stores)
+are partitioned across forked worker processes along server boundaries,
+deterministic round-robin in cluster registration order (for LocoFS that
+is the consistent-hash unit: a whole FMS, never part of one).
+
+Each remote server is represented driver-side by a
+:class:`RemoteServerNode` whose ``_ops`` table is empty, so both
+engines' dispatch fast paths fall through to ``node.dispatch(...)``
+unchanged — the proxy ships ``(method, args, kwargs)`` over a pipe, the
+worker applies it to the live handler, and replies with ``(result,
+meter_total_after, error)``.  The driver *sets* its mirror meter to the
+returned absolute total, so the engine's ``service = meter.total_us -
+before`` is the very same float subtraction a single-process run
+performs: sharded virtual time is bit-identical by construction, and the
+determinism goldens pin it.
+
+**Exchange protocol.**  The default (and golden-anchored) mode
+exchanges synchronously: every cross-shard dispatch is its own barrier
+at the request's arrival instant, and batched round trips
+(``exec_batch_remote``) amortize one exchange over up to
+``batch.max_ops`` sub-operations under the worker's own group commit.
+The conservative-barrier generalization — run the kernel ahead to
+``min(pending arrive) + lookahead`` before folding responses, with
+``lookahead = rtt/2`` (:attr:`ShardGroup.lookahead_us`; every response
+lands strictly later than its request's arrival plus one half RTT) — is
+what :meth:`repro.sim.simulator.Simulator.run_gated` implements the
+kernel side of; see DESIGN §10 for the full derivation.
+
+**Telemetry.**  Per-server telemetry is recorded *in the worker that
+served the request* (the proxy ships the arrive/start instants, the
+worker knows the service time) and the per-shard sinks are folded into
+the driver's sink at :meth:`ShardGroup.close` via
+:meth:`~repro.obs.telemetry.TelemetrySink.merge` — the merged sink is
+identical to the one a single-process run feeds.  Tracing, metrics
+registries, and fault schedules are not supported under sharding (they
+observe driver-side state per KV record); attaching them raises.
+
+**Fallback.**  ``shard_system(system, shards)`` with ``shards <= 1`` —
+or on a platform without ``fork`` — leaves the system untouched.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.common.errors import FSError
+from repro.kv.meter import Meter
+
+from .costmodel import KVCostPolicy
+
+# wire opcodes (driver -> worker); every request gets exactly one reply
+_OP_CALL = 0       # (op, server, method, args, kwargs, arrive, start)
+_OP_BATCH = 1      # (op, server, ((method, args, kwargs), ...), arrive, start)
+_OP_CTL = 2        # (op, server, attr, args, kwargs) — live-handler call
+_OP_TELEMETRY = 3  # (op, window_us, max_windows) — enable worker sink
+_OP_SNAPSHOT = 4   # (op,) -> the worker's TelemetrySink (or None)
+_OP_CLOSE = 5      # (op,) -> ack, then the worker exits
+
+
+def _worker_main(conn, nodes, overhead_us: float, wid: int) -> None:
+    """Serve dispatches for one shard until the driver closes the pipe.
+
+    ``nodes`` are the fork-inherited :class:`ServerNode` objects this
+    worker owns — live handlers, live stores, live meters.  The batch
+    loop mirrors ``_ObservableEngine._exec_batch`` exactly (same
+    dispatch fallbacks, same FSError folding, same group-commit scope),
+    so worker-side service accumulation matches single-process runs
+    charge for charge.
+    """
+    telemetry = None
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == _OP_CALL:
+                _, server, method, args, kwargs, arrive, start = msg
+                node = nodes[server]
+                meter = node.meter
+                before = meter.total_us
+                result = err = None
+                try:
+                    fn = node._ops.get(method)
+                    if fn is None:
+                        result = node.dispatch(method, args, kwargs)
+                    elif kwargs:
+                        result = fn(*args, **kwargs)
+                    else:
+                        result = fn(*args)
+                except Exception as e:  # FSError is protocol; rest re-raised
+                    err = e
+                after = meter.total_us
+                if telemetry is not None:
+                    telemetry.rpc_complete(server, arrive, start,
+                                           after - before + overhead_us)
+                conn.send((result, after, err))
+            elif op == _OP_BATCH:
+                _, server, rpcs, arrive, start = msg
+                node = nodes[server]
+                meter = node.meter
+                before = meter.total_us
+                results: list = []
+                first_err = fatal = None
+                gc = node.group_commit
+                ctx = gc() if gc is not None else None
+                if ctx is not None:
+                    ctx.__enter__()
+                try:
+                    table = node._ops
+                    for method, args, kwargs in rpcs:
+                        try:
+                            fn = table.get(method)
+                            if fn is None:
+                                result = node.dispatch(method, args, kwargs)
+                            elif kwargs:
+                                result = fn(*args, **kwargs)
+                            else:
+                                result = fn(*args)
+                        except FSError as e:
+                            result = None
+                            if first_err is None:
+                                first_err = e
+                        except Exception as e:
+                            fatal = e
+                            break
+                        results.append(result)
+                finally:
+                    if ctx is not None:
+                        ctx.__exit__(None, None, None)
+                after = meter.total_us
+                if telemetry is not None and fatal is None:
+                    telemetry.rpc_complete(server, arrive, start,
+                                           after - before + overhead_us,
+                                           n_ops=len(rpcs), batch=True)
+                conn.send(((results, first_err), after, fatal))
+            elif op == _OP_CTL:
+                _, server, attr, args, kwargs = msg
+                out = err = None
+                try:
+                    target = getattr(nodes[server].handler, attr)
+                    out = target(*args, **kwargs) if callable(target) else target
+                except Exception as e:
+                    err = e
+                conn.send((out, err))
+            elif op == _OP_TELEMETRY:
+                from repro.obs.telemetry import TelemetrySink
+
+                _, window_us, max_windows = msg
+                telemetry = TelemetrySink(window_us=window_us,
+                                          max_windows=max_windows)
+                conn.send((None, None))
+            elif op == _OP_SNAPSHOT:
+                if telemetry is not None:
+                    telemetry._drain()
+                conn.send(telemetry)
+            elif op == _OP_CLOSE:
+                conn.send(None)
+                return
+    except (EOFError, OSError, KeyboardInterrupt):
+        return  # driver went away; nothing to clean up, stores are ours
+
+
+class RemoteServerNode:
+    """Driver-side stand-in for a :class:`ServerNode` whose handler lives
+    in a shard worker.
+
+    The engine-visible surface is identical to ``ServerNode``: the queue
+    bookkeeping (``next_free``/``busy_us``/``requests_served``) stays on
+    the driver so FIFO wait arithmetic is untouched, and ``meter`` is a
+    mirror whose ``total_us`` is *set* to the worker's absolute total
+    after each dispatch — ``total_us - before`` on the driver is then
+    the same float subtraction as single-process.  ``_ops`` is empty on
+    purpose: both engines' dispatch fast paths fall through to
+    :meth:`dispatch` exactly as they do for an unbound method name.
+
+    The arrive/start instants shipped for worker-side telemetry are
+    recomputed here from the engine clock and ``next_free`` — both
+    engines dispatch with the clock standing at the request's arrival
+    and update ``next_free`` only afterwards, so the recomputation is
+    exact (asserted by the sharded-telemetry equivalence test).
+    """
+
+    remote = True
+
+    def __init__(self, inner, group: "ShardGroup", wid: int):
+        self.name = inner.name
+        #: pre-fork handler object — *stale* for state (the worker owns
+        #: the live one; use :meth:`ShardGroup.call` to introspect), kept
+        #: so type/attribute probes keep resolving
+        self.handler = inner.handler
+        self.meter = Meter(KVCostPolicy(group.cost))
+        self.meter.total_us = inner.meter.total_us
+        self.next_free = inner.next_free
+        self.requests_served = inner.requests_served
+        self.busy_us = inner.busy_us
+        self.crashes = inner.crashes
+        self.recovered_us = inner.recovered_us
+        self._ops: dict = {}
+        #: the worker applies group commit around remote batches itself
+        self.group_commit = None
+        self._group = group
+        self._wid = wid
+
+    def dispatch(self, method: str, args: tuple, kwargs: dict):
+        group = self._group
+        arrive = group.clock.now
+        start = arrive if arrive > self.next_free else self.next_free
+        result, after, err = group.call_op(
+            self._wid, self.name, method, args, kwargs, arrive, start)
+        self.meter.total_us = after
+        if err is not None:
+            raise err
+        return result
+
+    def exec_batch_remote(self, batch):
+        """Whole-batch dispatch: one exchange, worker-side group commit.
+
+        Returns ``(results, first_err)`` with ``_exec_batch`` semantics.
+        """
+        group = self._group
+        arrive = group.clock.now
+        start = arrive if arrive > self.next_free else self.next_free
+        rpcs = tuple((r.method, r.args, r.kwargs) for r in batch.rpcs)
+        payload, after, fatal = group.call_batch(
+            self._wid, self.name, rpcs, arrive, start)
+        self.meter.total_us = after
+        if fatal is not None:
+            raise fatal
+        return payload
+
+    def utilization(self, elapsed_us: float) -> float:
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / elapsed_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RemoteServerNode({self.name!r}, shard={self._wid})"
+
+
+class ShardGroup:
+    """Forked worker pool serving a cluster's handlers across shards.
+
+    Construction forks ``nshards`` workers (each inherits the fully
+    constructed cluster — no handler pickling) and then replaces every
+    ``ServerNode`` in ``cluster._nodes`` with a :class:`RemoteServerNode`
+    proxy; the engines share that dict by identity, so no engine change
+    is needed for single dispatches, and batches route through one
+    ``node.remote`` check in ``_exec_batch``.
+    """
+
+    def __init__(self, cluster, engine, nshards: int):
+        from multiprocessing import get_context
+
+        if nshards < 2:
+            raise ValueError("ShardGroup needs nshards >= 2; "
+                             "use shard_system() for the fallback")
+        self.cluster = cluster
+        self.cost = cluster.cost
+        self.engine = engine
+        self.clock = getattr(engine, "sim", engine)
+        #: conservative lookahead (DESIGN §10): a response to a request
+        #: arriving at ``a`` lands strictly after ``a + rtt/2`` (service
+        #: and the return half-RTT are both positive), so the kernel may
+        #: run ahead to ``min(pending arrive) + lookahead_us`` before a
+        #: fold — the bound ``Simulator.run_gated`` is built for
+        self.lookahead_us = self.cost.rtt_us / 2.0
+        self.nshards = nshards
+        self._check_engine()
+        if cluster.metrics is not None:
+            raise RuntimeError("sharded simulation does not support a "
+                               "metrics registry; run with --shards 1")
+        names = list(cluster._nodes)
+        #: server name -> shard id, deterministic round-robin in
+        #: registration order
+        self.assignment = {name: i % nshards for i, name in enumerate(names)}
+        ctx = get_context("fork")
+        self._conns = []
+        self._procs = []
+        self._telemetry_on = False
+        self._closed = False
+        overhead = self.cost.server_overhead_us
+        # fork every worker before installing proxies: each inherits the
+        # pristine cluster and serves only its own partition
+        for wid in range(nshards):
+            owned = {n: cluster._nodes[n]
+                     for n, w in self.assignment.items() if w == wid}
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, owned, overhead, wid),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        for name, wid in self.assignment.items():
+            cluster._nodes[name] = RemoteServerNode(
+                cluster._nodes[name], self, wid)
+
+    def _check_engine(self) -> None:
+        eng = self.engine
+        if (eng.tracer is not None or eng.metrics is not None
+                or eng.faults is not None):
+            raise RuntimeError(
+                "sharded simulation supports telemetry only; tracing, "
+                "metrics, and fault injection require --shards 1")
+
+    def _sync_obs(self) -> None:
+        """Per-dispatch observability check: reject late tracer/metrics
+        attachment and lazily switch worker-side telemetry on."""
+        eng = self.engine
+        if eng.tracer is not None or eng.metrics is not None \
+                or eng.faults is not None:
+            self._check_engine()
+        t = eng.telemetry
+        if t is not None and not self._telemetry_on:
+            self._telemetry_on = True
+            for conn in self._conns:
+                conn.send((_OP_TELEMETRY, t.initial_window_us, t.max_windows))
+                conn.recv()
+
+    # -- data plane -----------------------------------------------------------
+    def call_op(self, wid: int, server: str, method: str, args, kwargs,
+                arrive: float, start: float):
+        self._sync_obs()
+        conn = self._conns[wid]
+        conn.send((_OP_CALL, server, method, args, kwargs, arrive, start))
+        return conn.recv()
+
+    def call_batch(self, wid: int, server: str, rpcs, arrive: float,
+                   start: float):
+        self._sync_obs()
+        conn = self._conns[wid]
+        conn.send((_OP_BATCH, server, rpcs, arrive, start))
+        return conn.recv()
+
+    # -- control plane ---------------------------------------------------------
+    def call(self, server: str, attr: str, *args, **kwargs):
+        """Call (or read) ``attr`` on the *live* worker-side handler of
+        ``server``.  Driver-side ``node.handler`` references are the
+        stale pre-fork copies; post-run introspection goes through here.
+        Unmetered from the driver's perspective: the worker's meter total
+        is deliberately not folded back, so control reads cost no
+        virtual time (use charge-free handler methods for state probes
+        that must not perturb even worker-side accounting)."""
+        wid = self.assignment[server]
+        conn = self._conns[wid]
+        conn.send((_OP_CTL, server, attr, args, kwargs))
+        out, err = conn.recv()
+        if err is not None:
+            raise err
+        return out
+
+    def close(self) -> None:
+        """Fold worker telemetry into the driver sink and reap workers."""
+        if self._closed:
+            return
+        self._closed = True
+        sink = self.engine.telemetry
+        for conn in self._conns:
+            try:
+                conn.send((_OP_SNAPSHOT,))
+                worker_sink = conn.recv()
+                if worker_sink is not None and sink is not None:
+                    sink.merge(worker_sink)
+                conn.send((_OP_CLOSE,))
+                conn.recv()
+            except (EOFError, OSError, BrokenPipeError):  # worker died
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+
+
+def shard_system(system, shards: int):
+    """Attach sharded execution to a constructed deployment.
+
+    ``shards <= 1`` is the single-process fallback (no-op); so is a
+    platform without the ``fork`` start method (with a warning).  The
+    system's ``close`` is wrapped so teardown folds worker telemetry and
+    reaps the workers before the original close runs.
+    """
+    if shards <= 1:
+        return system
+    try:
+        from multiprocessing import get_context
+
+        get_context("fork")
+    except ValueError:
+        warnings.warn("multiprocessing 'fork' start method unavailable; "
+                      "running single-process", RuntimeWarning, stacklevel=2)
+        return system
+    group = ShardGroup(system.cluster, system.engine, shards)
+    system.shard_group = group
+    inner_close = getattr(system, "close", None)
+
+    def close():
+        group.close()
+        if inner_close is not None:
+            inner_close()
+
+    system.close = close
+    return system

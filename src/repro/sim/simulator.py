@@ -70,17 +70,44 @@ class Simulator:
         pop = heapq.heappop
         popleft = ready.popleft
         if until is None and max_events is None:
-            # the common full-drain loop, with no per-event bound checks
-            while True:
-                if ready and not (heap and heap[0][0] <= self.now):
-                    fn, args = popleft()
-                elif heap:
-                    time, _, fn, args = pop(heap)
-                    self.now = time
-                else:
-                    return
-                self._events_processed += 1
-                fn(*args)
+            # The common full-drain loop: *batched* event application.  Two
+            # invariants make the unsynchronized inner drains safe (module
+            # docstring): ``at``/``after`` route ``time <= now`` to the
+            # ready queue, so a callback can never push a heap entry at the
+            # current instant; and every heap entry at a given timestamp
+            # was pushed before the clock reached it, so it precedes (in
+            # seq order) any ready entry created at that instant.  Hence:
+            # drain the whole same-instant run of heap events without
+            # re-checking the ready queue, then drain the ready queue
+            # without re-peeking the heap — exactly (time, seq) order,
+            # with the per-event "which queue?" test gone.
+            n = self._events_processed
+            try:
+                # resumption edge: a bounded run() can stop mid-instant,
+                # leaving heap entries at time <= now; those precede any
+                # pending ready entry (their seqs are smaller)
+                while heap and heap[0][0] <= self.now:
+                    n += 1
+                    entry = pop(heap)
+                    entry[2](*entry[3])
+                while True:
+                    while ready:
+                        n += 1
+                        fn, args = popleft()
+                        fn(*args)
+                    if not heap:
+                        return
+                    entry = pop(heap)
+                    t = entry[0]
+                    self.now = t
+                    n += 1
+                    entry[2](*entry[3])
+                    while heap and heap[0][0] == t:
+                        n += 1
+                        entry = pop(heap)
+                        entry[2](*entry[3])
+            finally:
+                self._events_processed = n
         n = 0
         while True:
             if ready and not (heap and heap[0][0] <= self.now):
@@ -99,6 +126,28 @@ class Simulator:
             n += 1
             if max_events is not None and n >= max_events:
                 return
+
+    def run_gated(self, horizon: float) -> bool:
+        """Conservative-barrier drain (sharded pipelined exchange, DESIGN
+        §10): fire every event with ``time <= horizon`` — including all
+        same-instant ready continuations they spawn — but never advance
+        the clock past the horizon.
+
+        The caller loop alternates draining with folding cross-shard
+        responses::
+
+            while not sim.run_gated(group_horizon()):
+                fold_pending_responses()   # each lands > horizon
+
+        Safety: with ``horizon = min(pending arrive) + lookahead`` and
+        ``lookahead = rtt/2``, every pending response completes at
+        ``start + service + rtt/2 > arrive + lookahead >= horizon``, so a
+        fold after a blocked drain always schedules strictly in the
+        future.  Returns ``True`` when the schedule fully drained,
+        ``False`` when blocked at the barrier.
+        """
+        self.run(until=horizon)
+        return not self._heap and not self._ready
 
     @property
     def pending(self) -> int:

@@ -301,3 +301,86 @@ class TestWALGroupCommit:
         recovered = HashStore(wal_path=str(tmp_path / "s.wal"))
         assert recovered.get(b"x") == b"1"
         assert recovered.get(b"z") == b"3"
+
+
+class TestCreateMany:
+    """Bulk create_many: virtual time identical to one create() per name."""
+
+    @staticmethod
+    def _build(use_many, dirs=3, files=40, max_ops=8, **cfg_kw):
+        fs = batched_fs(max_ops=max_ops, **cfg_kw)
+        c = fs.client()
+        names = [f"f{n:03d}" for n in range(files)]
+        for d in range(dirs):
+            parent = f"/d{d}"
+            c.mkdir(parent)
+            if use_many:
+                c.create_many(parent, names)
+            else:
+                for name in names:
+                    c.create(f"{parent}/{name}")
+        c.flush()
+        return fs, c
+
+    def test_virtual_time_and_state_identical_to_per_name_create(self):
+        # 40 names at an 8-op budget: each directory spans several flush
+        # epochs, so the epoch-state revalidation path is exercised
+        fast, _ = self._build(True)
+        slow, _ = self._build(False)
+        assert fast.engine.now == slow.engine.now
+        assert fast.total_files() == slow.total_files() == 120
+        for name in fast.fms_names:
+            a, b = fast.cluster[name], slow.cluster[name]
+            assert a.meter.total_us == b.meter.total_us
+            assert a.requests_served == b.requests_served
+
+    def test_flushed_duplicate_raises_exists_at_flush(self):
+        # same write-behind semantics as create(): a name already durable
+        # on the server enqueues fine and Exists surfaces at the flush
+        fs, c = self._build(True, dirs=1, files=5)
+        c.create_many("/d0", ["f003"])
+        with pytest.raises(Exists):
+            c.flush()
+
+    def test_pending_duplicate_detected_before_flush(self):
+        fs = batched_fs(max_ops=64)
+        c = fs.client()
+        c.mkdir("/d")
+        c.create_many("/d", ["a", "b"])
+        assert c.pending_ops == 2
+        with pytest.raises(Exists):
+            c.create_many("/d", ["b"])
+
+    def test_missing_parent_raises(self):
+        from repro.common.errors import NoEntry
+
+        fs = batched_fs(max_ops=8)
+        c = fs.client()
+        with pytest.raises(NoEntry):
+            c.create_many("/nope", ["f0"])
+
+    def test_cache_disabled_fallback_matches_per_name_create(self):
+        from repro.common.config import CacheConfig
+
+        def build(use_many):
+            cfg = ClusterConfig(
+                num_metadata_servers=4,
+                cache=CacheConfig(enabled=False),
+                batch=BatchConfig(enabled=True, max_ops=8),
+            )
+            fs = LocoFS(cfg, engine_kind="direct")
+            c = fs.client()
+            names = [f"f{n:03d}" for n in range(10)]
+            for d in range(2):
+                c.mkdir(f"/d{d}")
+                if use_many:
+                    c.create_many(f"/d{d}", names)
+                else:
+                    for name in names:
+                        c.create(f"/d{d}/{name}")
+            c.flush()
+            return fs
+
+        fast, slow = build(True), build(False)
+        assert fast.engine.now == slow.engine.now
+        assert fast.total_files() == slow.total_files() == 20

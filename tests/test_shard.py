@@ -1,0 +1,206 @@
+"""Sharded deterministic execution (repro.sim.shard, DESIGN §10).
+
+The determinism goldens pin bit-identical virtual time across shard
+counts for every registered system; these tests cover the machinery
+itself — partitioning, the control plane, telemetry split/merge, error
+propagation, unsupported-feature rejection, and teardown.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import BatchConfig, ClusterConfig
+from repro.common.errors import Exists
+from repro.core.fs import LocoFS
+from repro.harness import run_throughput
+from repro.obs import TelemetrySink
+from repro.sim.shard import ShardGroup, shard_system
+
+
+def sharded_fs(shards, num_servers=4, engine_kind="direct", **batch_kw):
+    batch = BatchConfig(enabled=True, **batch_kw) if batch_kw else BatchConfig()
+    cfg = ClusterConfig(num_metadata_servers=num_servers, batch=batch)
+    return shard_system(LocoFS(cfg, engine_kind=engine_kind), shards)
+
+
+class TestShardGroup:
+    def test_shards_one_is_a_no_op(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+        assert shard_system(fs, 1) is fs
+        assert not hasattr(fs, "shard_group")
+
+    def test_group_requires_at_least_two_shards(self):
+        fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+        with pytest.raises(ValueError):
+            ShardGroup(fs.cluster, fs.engine, 1)
+
+    def test_round_robin_assignment_and_lookahead(self):
+        fs = sharded_fs(2, num_servers=3)
+        group = fs.shard_group
+        try:
+            names = list(group.assignment)
+            assert [group.assignment[n] for n in names] == \
+                [i % 2 for i in range(len(names))]
+            assert group.lookahead_us == fs.cluster.cost.rtt_us / 2.0
+            # every node was swapped for a proxy on the matching shard
+            for name in names:
+                node = fs.cluster[name]
+                assert node.remote
+                assert node._wid == group.assignment[name]
+        finally:
+            fs.close()
+
+    def test_ops_run_in_workers_and_driver_state_is_stale(self):
+        fs = sharded_fs(2)
+        try:
+            c = fs.client()
+            c.mkdir("/d")
+            for n in range(8):
+                c.create(f"/d/f{n}")
+            group = fs.shard_group
+            live = sum(group.call(name, "num_files_fast")
+                       for name in fs.fms_names)
+            assert live == 8
+            # the driver's handler objects are the pre-fork copies
+            assert fs.total_files_fast() == 0
+        finally:
+            fs.close()
+
+    def test_fs_errors_propagate_from_workers(self):
+        fs = sharded_fs(2)
+        try:
+            c = fs.client()
+            c.mkdir("/d")
+            with pytest.raises(Exists):
+                c.mkdir("/d")
+        finally:
+            fs.close()
+
+    def test_error_path_clock_matches_single_process(self):
+        def clock(shards):
+            fs = sharded_fs(shards) if shards > 1 else \
+                LocoFS(ClusterConfig(num_metadata_servers=4))
+            try:
+                c = fs.client()
+                c.mkdir("/d")
+                with pytest.raises(Exists):
+                    c.mkdir("/d")
+                c.create("/d/f")
+                return fs.engine.now
+            finally:
+                fs.close()
+
+        assert clock(2) == clock(1)
+
+    def test_close_reaps_workers_and_is_idempotent(self):
+        fs = sharded_fs(2)
+        procs = fs.shard_group._procs
+        assert all(p.is_alive() for p in procs)
+        fs.close()
+        fs.close()
+        assert not any(p.is_alive() for p in procs)
+
+
+class TestUnsupportedUnderSharding:
+    def test_pre_attached_tracer_rejected(self):
+        from repro.obs import Tracer
+
+        fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+        fs.engine.attach_observability(tracer=Tracer())
+        with pytest.raises(RuntimeError, match="telemetry only"):
+            ShardGroup(fs.cluster, fs.engine, 2)
+
+    def test_pre_attached_metrics_rejected(self):
+        from repro.obs import MetricsRegistry
+
+        fs = LocoFS(ClusterConfig(num_metadata_servers=2))
+        fs.engine.attach_observability(metrics=MetricsRegistry())
+        with pytest.raises(RuntimeError, match="telemetry only"):
+            ShardGroup(fs.cluster, fs.engine, 2)
+
+    def test_late_tracer_attachment_rejected_at_dispatch(self):
+        from repro.obs import Tracer
+
+        fs = sharded_fs(2)
+        try:
+            c = fs.client()
+            c.mkdir("/d")  # fine: telemetry-only contract holds
+            fs.engine.attach_observability(tracer=Tracer())
+            with pytest.raises(RuntimeError, match="telemetry only"):
+                c.mkdir("/e")
+        finally:
+            fs.close()
+
+
+class TestTelemetryMerge:
+    @staticmethod
+    def _feed(sink, lo, hi, server="fms0"):
+        for i in range(lo, hi):
+            t = 100.0 * i
+            sink.op_complete("client.create", t, t + 40.0)
+            sink.rpc_complete(server, t, t + 5.0, 30.0, depth=i % 3)
+            if i % 7 == 0:
+                sink.mark("retry", t)
+            if i % 11 == 0:
+                sink.op_complete("client.stat", t, t + 9.0, error="Gone")
+
+    def test_split_feed_merges_to_the_single_sink(self):
+        whole = TelemetrySink()
+        self._feed(whole, 0, 200)
+        a = TelemetrySink()
+        b = TelemetrySink()
+        self._feed(a, 0, 120)
+        self._feed(b, 120, 200)
+        assert a.merge(b) is a
+        assert json.dumps(a.snapshot(), sort_keys=True) == \
+            json.dumps(whole.snapshot(), sort_keys=True)
+        assert a.total_ops == whole.total_ops
+        assert a.total_errors == whole.total_errors
+
+    def test_merge_aligns_power_of_two_window_widths(self):
+        wide = TelemetrySink(window_us=1024.0)
+        narrow = TelemetrySink(window_us=256.0)
+        self._feed(wide, 0, 50)
+        self._feed(narrow, 50, 80, server="fms1")
+        merged = wide.merge(narrow)
+        assert merged.window_us == 1024.0
+        assert merged.total_ops > 0
+        assert set(merged.server_names()) == {"fms0", "fms1"}
+
+    def test_merge_rejects_unaligned_window_widths(self):
+        a = TelemetrySink(window_us=256.0)
+        b = TelemetrySink(window_us=384.0)
+        self._feed(a, 0, 4)
+        self._feed(b, 0, 4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_stays_within_max_windows(self):
+        a = TelemetrySink(window_us=256.0, max_windows=4)
+        b = TelemetrySink(window_us=256.0, max_windows=4)
+        self._feed(a, 0, 40)
+        self._feed(b, 40, 200)
+        merged = a.merge(b)
+        assert merged.n_windows <= 4
+
+
+class TestShardedTelemetryEquivalence:
+    @staticmethod
+    def _snapshot(shards):
+        sink = TelemetrySink()
+        run_throughput("locofs-c", 4, op="touch", items_per_client=6,
+                       client_scale=0.2, telemetry=sink, shards=shards)
+        return json.dumps(sink.snapshot(), sort_keys=True)
+
+    def test_merged_worker_sinks_equal_single_process_sink(self):
+        assert self._snapshot(2) == self._snapshot(1)
+
+    def test_batched_system_telemetry_equivalent(self):
+        sinks = []
+        for shards in (1, 3):
+            sink = TelemetrySink()
+            run_throughput("locofs-b", 4, op="touch", items_per_client=6,
+                           client_scale=0.2, telemetry=sink, shards=shards)
+            sinks.append(json.dumps(sink.snapshot(), sort_keys=True))
+        assert sinks[0] == sinks[1]

@@ -92,3 +92,99 @@ def test_determinism_across_runs():
         return out
 
     assert build() == build()
+
+
+def test_heap_events_precede_ready_chain_at_same_instant():
+    """Interleaved zero-delay spawns and timed events at one instant.
+
+    Every heap entry at time t was pushed before the clock reached t, so
+    it must fire before any zero-delay continuation created *at* t — even
+    when the continuations form a self-feeding chain.
+    """
+    sim = Simulator()
+    order = []
+    sim.at(10, order.append, "timed-a")
+
+    def chain(n):
+        order.append(f"ready-{n}")
+        if n < 3:
+            sim.after(0.0, chain, n + 1)
+
+    sim.at(10, chain, 0)
+    sim.at(10, order.append, "timed-b")
+    sim.run()
+    assert order == ["timed-a", "ready-0", "timed-b",
+                     "ready-1", "ready-2", "ready-3"]
+
+
+def test_resumed_run_does_not_starve_same_instant_heap_events():
+    """Regression (ISSUE 7 satellite): a zero-delay spawn chain queued
+    after a bounded run stopped mid-instant must not starve heap events
+    still pending at the current virtual time.
+
+    A bounded ``run`` can return with the clock standing at t while heap
+    entries at t remain.  Ready entries appended afterwards carry later
+    scheduling order, so the full-drain resume must fire the leftover
+    heap entries first (the resumption-edge pre-drain) — a ready-first
+    drain would run the whole chain ahead of them, and an unbounded
+    chain would starve them forever.
+    """
+    sim = Simulator()
+    order = []
+    sim.at(10, order.append, "timed-a")
+    sim.at(10, order.append, "timed-b")
+    sim.run(max_events=1)  # stops mid-instant: now == 10, timed-b queued
+    assert order == ["timed-a"]
+    assert sim.now == 10
+
+    def chain(n):
+        order.append(f"ready-{n}")
+        if n < 3:
+            sim.after(0.0, chain, n + 1)
+
+    sim.after(0.0, chain, 0)  # lands in the ready queue at t == 10
+    sim.run()
+    assert order == ["timed-a", "timed-b",
+                     "ready-0", "ready-1", "ready-2", "ready-3"]
+
+
+def test_bounded_run_interleaves_heap_before_ready_at_same_instant():
+    sim = Simulator()
+    order = []
+    sim.at(10, order.append, "timed-a")
+    sim.at(10, order.append, "timed-b")
+    sim.run(max_events=1)
+    sim.after(0.0, order.append, "ready-0")
+    # the bounded loop must also prefer same-instant heap entries
+    sim.run(max_events=1)
+    assert order == ["timed-a", "timed-b"]
+    sim.run(max_events=1)
+    assert order == ["timed-a", "timed-b", "ready-0"]
+
+
+def test_run_gated_blocks_at_horizon_then_drains():
+    sim = Simulator()
+    order = []
+    sim.at(10, order.append, "a")
+    sim.at(20, order.append, "b")
+    assert sim.run_gated(15) is False  # blocked: "b" is past the horizon
+    assert order == ["a"]
+    assert sim.now == 15
+    assert sim.run_gated(25) is True
+    assert order == ["a", "b"]
+
+
+def test_run_gated_fires_spawned_continuations_within_horizon():
+    sim = Simulator()
+    order = []
+
+    def spawner():
+        order.append("spawn")
+        sim.after(0.0, order.append, "child")
+        sim.after(100.0, order.append, "far")
+
+    sim.at(10, spawner)
+    assert sim.run_gated(10) is False  # "far" remains beyond the horizon
+    assert order == ["spawn", "child"]
+    assert sim.run_gated(200) is True
+    assert order == ["spawn", "child", "far"]
