@@ -79,6 +79,8 @@ SCALES = {
         "ns10m_files_per_dir": 1000,
         "xl_event_items": 150,
         "xl_client_scale": 10.0,
+        "mixed_clients": 32,
+        "mixed_items": 150,
     },
     "quick": {
         "direct_items": 60,
@@ -93,6 +95,8 @@ SCALES = {
         "ns10m_files_per_dir": 500,
         "xl_event_items": 10,
         "xl_client_scale": 10.0,
+        "mixed_clients": 8,
+        "mixed_items": 30,
     },
 }
 
@@ -141,6 +145,29 @@ def bench_event_fig8(scale: dict) -> dict:
 def bench_event_fig8_xl(scale: dict) -> dict:
     """fig8 at 10x Table-3 client counts — the client-scale ceiling."""
     return _bench_event(scale, scale["xl_event_items"], scale["xl_client_scale"])
+
+
+def bench_mixed_ops(scale: dict) -> dict:
+    """fig17-style mixed-op wave through the dependency-aware LocoFS-A
+    client (deferred creates/setattrs/unlinks/renames + lookup cache)."""
+    from repro.harness.runner import MIX_UPDATE_HEAVY, run_mixed_throughput
+
+    t0 = time.perf_counter()
+    r = run_mixed_throughput(
+        "locofs-a",
+        scale["event_servers"],
+        mix=MIX_UPDATE_HEAVY,
+        num_clients=scale["mixed_clients"],
+        items_per_client=scale["mixed_items"],
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "ops": r.total_ops,
+        "clients": r.num_clients,
+        "wall_s": wall,
+        "ops_per_s": r.total_ops / wall,
+        "virtual_iops": r.iops,
+    }
 
 
 def bench_kv_micro(scale: dict) -> dict:
@@ -313,6 +340,7 @@ BENCHMARKS = {
     "direct_mdtest": bench_direct_mdtest,
     "event_fig8": bench_event_fig8,
     "event_fig8_xl": bench_event_fig8_xl,
+    "mixed_ops": bench_mixed_ops,
     "kv_micro": bench_kv_micro,
     "namespace_build": bench_namespace_build,
     "namespace_build_10m": bench_namespace_build_10m,

@@ -227,9 +227,10 @@ def _cmd_latency(args) -> int:
         return err
     rec = run_latency(system, args.num_servers, n_items=args.items,
                       depth=args.depth, metrics=registry, telemetry=sink,
-                      shards=args.shards)
+                      shards=args.shards, zipf_s=args.zipf_s)
+    skew = f", zipf s={args.zipf_s}" if args.zipf_s else ""
     print(f"latency of {system} at {args.num_servers} server(s), "
-          f"{args.items} items, depth {args.depth}:")
+          f"{args.items} items, depth {args.depth}{skew}:")
     for op in rec.ops():
         s = rec.summary(op)
         print(f"  {op:<10} mean {s.mean:9.1f} µs   p99 {s.p99:9.1f} µs")
@@ -332,7 +333,14 @@ def _cmd_slo(args) -> int:
 
 def _cmd_dashboard(args) -> int:
     """Run a scenario under telemetry and render the self-contained HTML."""
-    from repro.harness import SYSTEM_NAMES, run_availability, run_throughput
+    from repro.harness import (
+        MIX_READ_MOSTLY,
+        MIX_UPDATE_HEAVY,
+        SYSTEM_NAMES,
+        run_availability,
+        run_mixed_throughput,
+        run_throughput,
+    )
     from repro.obs.dashboard import write_dashboard
     from repro.obs.slo import evaluate_slo
 
@@ -344,7 +352,22 @@ def _cmd_dashboard(args) -> int:
     sink = _telemetry_sink(args, force=True)
     meta = {"system": system, "scenario": args.scenario,
             "servers": args.num_servers}
-    if args.scenario == "crash":
+    cache_stats = None
+    if args.scenario == "mixed":
+        mix = MIX_READ_MOSTLY if args.zipf_s else MIX_UPDATE_HEAVY
+        r = run_mixed_throughput(system, args.num_servers, mix=mix,
+                                 num_clients=args.clients,
+                                 items_per_client=args.items,
+                                 zipf_s=args.zipf_s,
+                                 metrics=registry, telemetry=sink)
+        cache_stats = r.cache_stats or None
+        if args.zipf_s:
+            meta["zipf_s"] = args.zipf_s
+        hr = (f", cache hit rate {r.cache_hit_rate * 100:.1f}%"
+              if r.cache_hit_rate is not None else "")
+        print(f"{system} mixed ops: {r.iops:,.0f} IOPS "
+              f"({r.num_clients} clients{hr})")
+    elif args.scenario == "crash":
         r = run_availability(
             system, num_servers=args.num_servers, crash_server=args.crash,
             num_clients=args.clients, items_per_client=args.items,
@@ -363,7 +386,8 @@ def _cmd_dashboard(args) -> int:
               f"({r.num_clients} clients)")
     spec = _load_spec(args.slo)
     report = evaluate_slo(spec, sink)
-    write_dashboard(args.out, sink, report, spec, meta=meta)
+    write_dashboard(args.out, sink, report, spec, meta=meta,
+                    cache_stats=cache_stats)
     print(f"dashboard written to {args.out} (self-contained HTML, "
           f"open with any browser — no network needed)")
     _emit_metrics(args, registry)
@@ -544,6 +568,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("-n", "--num-servers", type=int, default=4)
     p.add_argument("--items", type=int, default=50)
     p.add_argument("--depth", type=int, default=1)
+    p.add_argument("--zipf-s", type=float, default=None, metavar="S",
+                   help="Zipf exponent for hot-entry skew in the read "
+                        "phases (0/omitted = sequential)")
     p.add_argument("--shards", type=int, default=1, metavar="N",
                    help="partition the servers across N worker processes "
                         "(bit-identical virtual time; see DESIGN §10)")
@@ -600,14 +627,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("system", help="system name ('locofs' = locofs-c)")
     p.add_argument("--out", required=True, metavar="FILE",
                    help="path for the HTML dashboard")
-    p.add_argument("--scenario", choices=("crash", "throughput"),
+    p.add_argument("--scenario", choices=("crash", "throughput", "mixed"),
                    default="crash",
                    help="crash = fig16-style faulted run (default); "
-                        "throughput = clean closed-loop run")
+                        "throughput = clean closed-loop run; "
+                        "mixed = fig17-style mixed-op run (adds the "
+                        "lookup-cache panel on cache-tier systems)")
     p.add_argument("-n", "--num-servers", type=int, default=4)
     p.add_argument("--clients", type=int, default=8)
     p.add_argument("--items", type=int, default=40)
     p.add_argument("--op", default="touch", help="measured op for --scenario throughput")
+    p.add_argument("--zipf-s", type=float, default=None, metavar="S",
+                   help="for --scenario mixed: hot-entry Zipf skew "
+                        "(switches to the read-mostly mix)")
     p.add_argument("--client-scale", type=float, default=0.5)
     p.add_argument("--crash", default="dms", metavar="SERVER")
     p.add_argument("--crash-at", type=float, default=0.3, metavar="FRAC")

@@ -32,6 +32,13 @@ class BatchConfig:
     max_bytes: int = 4096
     #: flush any queue whose oldest entry exceeds this virtual age
     max_age_us: float = 2000.0
+    #: defer *all* small metadata updates (mkdir/unlink/setattr/chmod/
+    #: rename-file), not just creates, with dependency tracking between
+    #: queued entries (the LocoFS-A variant; DESIGN §11)
+    all_ops: bool = False
+    #: client-side directory-uuid pool refill size for deferred mkdir
+    #: (one ``reserve_uuids`` RPC to the DMS buys this many mkdirs)
+    uuid_reserve: int = 64
 
     def __post_init__(self) -> None:
         if self.max_ops < 1:
@@ -40,6 +47,29 @@ class BatchConfig:
             raise ValueError("batch needs max_bytes >= 1")
         if self.max_age_us <= 0:
             raise ValueError("batch needs a positive max_age_us")
+        if self.uuid_reserve < 1:
+            raise ValueError("batch needs uuid_reserve >= 1")
+
+
+@dataclass
+class LookupCacheConfig:
+    """Shared hot-entry lookup-cache tier (the LocoFS-A "switch" node).
+
+    Fletch-style: a single cache node on the network path between the
+    clients and the metadata tier, reachable in
+    :attr:`~repro.sim.costmodel.CostModel.switch_rtt_us` instead of a full
+    network RTT.  It caches file-attribute lookups (getattr/open/access)
+    and DMS path lookups; writers invalidate entries as part of their
+    write-behind flushes (DESIGN §11).
+    """
+
+    enabled: bool = False
+    #: cached entries (files + paths) before FIFO eviction
+    capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("lookup cache needs capacity >= 1")
 
 
 @dataclass
@@ -59,6 +89,8 @@ class ClusterConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     #: client write-behind batching (locofs-b); off for the paper systems
     batch: BatchConfig = field(default_factory=BatchConfig)
+    #: shared hot-entry lookup-cache node (locofs-a); off by default
+    lookup_cache: LookupCacheConfig = field(default_factory=LookupCacheConfig)
     # LocoFS-specific toggles used by the ablation experiments:
     decoupled_file_metadata: bool = True  # Fig. 11: LocoFS-DF vs LocoFS-CF
     dms_backend: str = "btree"  # "btree" (paper default) or "hash" (Fig. 14)

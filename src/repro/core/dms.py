@@ -24,10 +24,18 @@ of all descendant *directories* — a contiguous prefix move in the B+-tree
 
 from __future__ import annotations
 
+import contextlib
 import os
 
 from repro.common import pathutil
-from repro.common.errors import Exists, InvalidArgument, NoEntry, NotEmpty, PermissionDenied
+from repro.common.errors import (
+    Exists,
+    FSError,
+    InvalidArgument,
+    NoEntry,
+    NotEmpty,
+    PermissionDenied,
+)
 from repro.common.stats import Counters
 from repro.common.types import (
     Credentials,
@@ -35,7 +43,7 @@ from repro.common.types import (
     FileType,
     S_IFDIR,
 )
-from repro.common.uuidgen import ROOT_UUID, UuidAllocator
+from repro.common.uuidgen import FID_BITS, FID_MASK, ROOT_UUID, UuidAllocator
 from repro.kv import BTreeStore, HashStore
 from repro.kv.meter import Meter
 from repro.kv.wal import WriteAheadLog
@@ -125,6 +133,22 @@ class DirectoryMetadataServer:
             self.store.put(self._FID_KEY, (fid + self.FID_RESERVE).to_bytes(8, "big"))
         return uuid
 
+    @contextlib.contextmanager
+    def group_commit(self):
+        """Group-commit scope for batched RPCs (one WAL fsync per batch) —
+        same contract as :meth:`FileMetadataServer.group_commit`: counts
+        every scope and the durable commit boundaries it produced, so the
+        deferred-mkdir amortization claim is auditable from the metrics."""
+        self.counters.inc("wal.group_commit")
+        wal = getattr(self.store, "_wal", None)
+        before = wal.commits if wal is not None else 0
+        try:
+            with self.store.group():
+                yield
+        finally:
+            if wal is not None:
+                self.counters.inc("wal.fsync", wal.commits - before)
+
     # -- wiring ------------------------------------------------------------------
     def attach_meter(self, meter: Meter) -> None:
         self.store.meter = meter
@@ -197,12 +221,25 @@ class DirectoryMetadataServer:
     # -- directory operations (Table 1 rows) --------------------------------------------
     def op_mkdir(self, path: str, mode: int, cred: Credentials, now_s: float) -> int:
         """Create a directory; returns its uuid.  Touches Dir + Dirent parts."""
+        return self._mkdir(path, mode, cred, now_s, uuid=None)
+
+    def _mkdir(self, path: str, mode: int, cred: Credentials, now_s: float,
+               uuid: int | None = None, walked: set | None = None) -> int:
+        """mkdir body; ``uuid`` supplies a client-reserved id (deferred
+        mkdir, LocoFS-A), ``walked`` a batch-local ACL-walk memo."""
         self._touch("mkdir", "dir", "dirent")
         path = pathutil.normalize(path)
         if path == "/":
             raise Exists(path)
         parent, name = pathutil.split(path)
-        self._acl_walk(path, cred)
+        if walked is None:
+            self._acl_walk(path, cred)
+        elif parent not in walked:
+            # batch-local memo: entries under an already-walked parent
+            # re-use its ancestor checks (one request, one resolution)
+            self._acl_walk(path, cred)
+            walked.update(pathutil.ancestors(path))
+            walked.add(parent)
         pmeta = self._meta.get(parent)
         if pmeta is None:
             raise NoEntry(parent)
@@ -210,8 +247,14 @@ class DirectoryMetadataServer:
         if not may_access(pmode, puid, pgid, cred, W_OK | X_OK):
             raise PermissionDenied(parent)
         if self.store.get(_ikey(path)) is not None:
+            if uuid is not None and self._meta.get(path, (0, 0, 0, -1))[3] == uuid:
+                # replay of an already-applied deferred mkdir (a retried
+                # flush after a dropped response): same client-reserved
+                # uuid means it is this very mkdir — report success
+                return uuid
             raise Exists(path)
-        uuid = self._allocate_uuid()
+        if uuid is None:
+            uuid = self._allocate_uuid()
         dmode = S_IFDIR | (mode & 0o7777)
         buf = DIR_INODE.pack(ctime=now_s, mode=dmode, uid=cred.uid, gid=cred.gid, uuid=uuid)
         self.store.put(_ikey(path), buf)
@@ -220,6 +263,59 @@ class DirectoryMetadataServer:
         self.store.append(_ekey(puuid), dirent.pack_entry(name, uuid, FileType.DIRECTORY))
         self._meta[path] = (dmode, cred.uid, cred.gid, uuid)
         return uuid
+
+    def op_reserve_uuids(self, n: int) -> tuple[int, int]:
+        """Reserve ``n`` contiguous directory uuids for client-side
+        assignment (deferred mkdir, LocoFS-A).  One ceiling check covers
+        the whole range, same durability contract as ``_allocate_uuid``:
+        after a restart no reserved id is ever handed out again.  Returns
+        ``(first_uuid, n)``."""
+        if n < 1:
+            raise InvalidArgument(n, "need n >= 1")
+        alloc = self.alloc
+        start = alloc._next_fid
+        fid = start + n - 1
+        if fid > FID_MASK:
+            raise ValueError(f"fid out of range: {fid}")
+        alloc._next_fid = fid + 1
+        ceiling = self.store.get(self._FID_KEY)
+        if ceiling is None or fid > int.from_bytes(ceiling, "big"):
+            self.store.put(self._FID_KEY, (fid + self.FID_RESERVE).to_bytes(8, "big"))
+        self.counters.inc("uuids.reserved", n)
+        return (alloc.sid << FID_BITS) | start, n
+
+    def op_apply_batch(self, entries: tuple) -> list:
+        """Apply a write-behind batch of deferred directory updates.
+
+        Each entry is a tagged tuple — ``("mkdir", path, mode, cred,
+        now_s, uuid)`` with a client-reserved uuid, or ``("dsetattr",
+        path, cred, now_s, mode, uid, gid)``.  Entries apply in order;
+        per-entry failures are reported positionally (``{"err": name,
+        "arg": str}``) instead of failing the batch, because the issuing
+        ops were acknowledged long ago (write-behind).  The engine wraps
+        the dispatch in :meth:`group_commit`, so the whole batch is one
+        WAL fsync.
+        """
+        results: list = []
+        walked: set = set()
+        for e in entries:
+            kind = e[0]
+            try:
+                if kind == "mkdir":
+                    _, path, mode, cred, now_s, uuid = e
+                    results.append(
+                        {"uuid": self._mkdir(path, mode, cred, now_s,
+                                             uuid=uuid, walked=walked)})
+                elif kind == "dsetattr":
+                    _, path, cred, now_s, mode, uid, gid = e
+                    self.op_setattr(path, cred, now_s, mode, uid, gid)
+                    results.append({"ok": True})
+                else:
+                    raise InvalidArgument(kind, "unknown deferred DMS op")
+            except FSError as err:
+                results.append({"err": type(err).__name__, "arg": str(err)})
+        self.counters.inc("batch.records", len(entries))
+        return results
 
     def op_lookup(self, path: str, cred: Credentials) -> dict:
         """Resolve a directory for a client (the cacheable d-inode).

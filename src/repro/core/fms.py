@@ -25,7 +25,7 @@ from __future__ import annotations
 import contextlib
 import os
 
-from repro.common.errors import Exists, NoEntry, PermissionDenied
+from repro.common.errors import Exists, FSError, InvalidArgument, NoEntry, PermissionDenied
 from repro.common.stats import Counters
 from repro.common.types import Credentials, FileType, S_IFREG
 from repro.common.uuidgen import FID_BITS, FID_MASK, UuidAllocator, uuid_fid
@@ -642,6 +642,99 @@ class FileMetadataServer:
         self.store.append(_E + dir_uuid.to_bytes(8, "big"),
                           dirent.pack_entry(name, uuid, FileType.FILE))
         self._nfiles += 1
+
+    def op_rename_local(self, sdir_uuid: int, sname: str, ddir_uuid: int,
+                        dname: str, cred: Credentials) -> dict:
+        """Same-server f-rename in one request (the LocoFS-A flush path).
+
+        Applies the exact sequence the synchronous client drives over the
+        wire — remove the destination if present, detach the source,
+        attach it under the new key — so a deferred rename leaves the
+        identical state.  Returns the replaced destination's
+        ``{"uuid", "size"}`` (or ``None``) so the flushing client can
+        delete its data blocks, just as the sync path does.
+        """
+        try:
+            replaced = self.op_remove(ddir_uuid, dname, cred)
+        except NoEntry:
+            replaced = None
+        inode = self.op_export_remove(sdir_uuid, sname, cred)
+        self.op_import(ddir_uuid, dname, inode["access"], inode["content"])
+        return {"replaced": replaced}
+
+    # -- mixed batched apply (LocoFS-A write-behind flush) -------------------------------
+    def op_apply_batch(self, entries: tuple) -> list:
+        """Apply a mixed sequence of deferred metadata updates in order.
+
+        Each entry is a tagged tuple whose tail matches the corresponding
+        single-op signature:
+
+        * ``("create", dir_uuid, name, mode, cred, now_s, bsize)``
+        * ``("setattr", dir_uuid, name, cred, now_s, mode, uid, gid)``
+        * ``("unlink", dir_uuid, name, cred)``
+        * ``("unlink_opt", dir_uuid, name, cred)`` — remove-if-exists, the
+          annihilation form (a deferred create cancelled by a later unlink
+          still has to clear any durable same-name file)
+        * ``("rename_local", sdir_uuid, sname, ddir_uuid, dname, cred)``
+
+        Results are positional: ``{"uuid": n}`` or ``{"err": "Exists",
+        "arg": name}`` for creates, ``{"ok": True}`` for setattr,
+        ``{"removed": {...} | None}`` for the unlink forms,
+        ``{"replaced": ...}`` for renames, and ``{"err": type, "arg": msg}``
+        for any entry that failed.  A failing entry never aborts the batch
+        — the client sorts deferred errors out at the flush boundary.
+
+        The client queue preserves per-key dependency order, so entries
+        must apply in sequence — except *contiguous* runs of creates,
+        which are safe to hand to :meth:`op_create_batch` for its full
+        amortization (multi_get probes, one uuid ceiling, one multi_put,
+        coalesced dirent appends) and exactly-once replay handling.  The
+        engine runs the whole request under :meth:`group_commit`, so the
+        mixed batch is still one WAL fsync.
+        """
+        n = len(entries)
+        results: list = [None] * n
+        creates = 0
+        i = 0
+        while i < n:
+            e = entries[i]
+            kind = e[0]
+            if kind == "create":
+                j = i + 1
+                while j < n and entries[j][0] == "create":
+                    j += 1
+                out = self.op_create_batch(tuple(en[1:] for en in entries[i:j]))
+                for k, uuid in enumerate(out["uuids"]):
+                    if uuid is None:
+                        results[i + k] = {"err": "Exists", "arg": entries[i + k][2]}
+                    else:
+                        results[i + k] = {"uuid": uuid}
+                creates += j - i
+                i = j
+                continue
+            try:
+                if kind == "setattr":
+                    self.op_setattr(e[1], e[2], e[3], e[4],
+                                    mode=e[5], uid=e[6], gid=e[7])
+                    results[i] = {"ok": True}
+                elif kind == "unlink":
+                    results[i] = {"removed": self.op_remove(e[1], e[2], e[3])}
+                elif kind == "unlink_opt":
+                    try:
+                        removed = self.op_remove(e[1], e[2], e[3])
+                    except NoEntry:
+                        removed = None
+                    results[i] = {"removed": removed}
+                elif kind == "rename_local":
+                    results[i] = self.op_rename_local(e[1], e[2], e[3], e[4], e[5])
+                else:
+                    raise InvalidArgument(f"unknown batched op {kind!r}")
+            except FSError as err:
+                results[i] = {"err": type(err).__name__, "arg": str(err)}
+            i += 1
+        # op_create_batch counted its own records
+        self.counters.inc("batch.records", n - creates)
+        return results
 
     # -- introspection --------------------------------------------------------------------
     def num_files(self) -> int:

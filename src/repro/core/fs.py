@@ -24,9 +24,11 @@ from repro.sim.cluster import Cluster
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import DirectEngine, EventEngine
 
+from .asyncclient import AsyncLocoClient
 from .client import BatchingLocoClient, LocoClient
 from .dms import DirectoryMetadataServer
 from .fms import FileMetadataServer
+from .lookupcache import LookupCacheServer
 from .objectstore import BlockPlacement, ObjectStoreServer
 
 
@@ -89,12 +91,25 @@ class LocoFS:
             obj_names.append(name)
         self.placement = BlockPlacement(obj_names, replicas=self.config.data_replicas)
 
+        self.lookup_cache: LookupCacheServer | None = None
+        self.lookup_cache_name: str | None = None
+        if self.config.lookup_cache.enabled:
+            # the shared hot-entry cache node (LocoFS-A): lives on the
+            # network path, so the engine treats it as a switch node —
+            # near-zero RTT and no connection displacement
+            self.lookup_cache = LookupCacheServer(self.config.lookup_cache.capacity)
+            self.lookup_cache_name = "cache0"
+            self.cluster.add(self.lookup_cache_name, self.lookup_cache)
+
         if engine_kind == "direct":
             self.engine = DirectEngine(self.cluster, self.cost)
         elif engine_kind == "event":
             self.engine = EventEngine(self.cluster, self.cost)
         else:
             raise ValueError(f"unknown engine kind: {engine_kind!r}")
+        if self.lookup_cache_name is not None:
+            self.engine.register_switch_node(self.lookup_cache_name,
+                                             self.cost.switch_rtt_us)
 
     def client(self, cred: Credentials = ROOT_CRED, engine=None) -> LocoClient:
         """A new logical client (with its own directory cache).
@@ -113,6 +128,10 @@ class LocoFS:
             strict_collisions=self.config.strict_collisions,
         )
         engine = engine if engine is not None else self.engine
+        if self.config.batch.enabled and self.config.batch.all_ops:
+            return AsyncLocoClient(engine, batch=self.config.batch,
+                                   lookup_cache_node=self.lookup_cache_name,
+                                   **kwargs)
         if self.config.batch.enabled:
             return BatchingLocoClient(engine, batch=self.config.batch, **kwargs)
         return LocoClient(engine, **kwargs)

@@ -359,6 +359,12 @@ class MultiDMSClient(LocoClient):
         dp = yield from self._g_dir(new_parent)
         self._check_parent_write(sp)
         self._check_parent_write(dp)
+        # the destination may exist as a *file* — invisible to the DMS
+        # shards, so it needs its own FMS probe (rename(dir, file) = EEXIST)
+        file_exists = yield Rpc(self._fms_for(dp["uuid"], new_name), "exists",
+                                (dp["uuid"], new_name))
+        if file_exists:
+            raise Exists(new)
         exports = yield Parallel([Rpc(n, "shard_export", (old,)) for n in self.dms_names])
         regroup: dict[str, list] = {}
         moved_uuid = None

@@ -19,6 +19,7 @@ from . import (
     fig14_rename,
     fig15_batching,
     fig16_availability,
+    fig17_async_updates,
     table1_access_matrix,
     table3_clients,
 )
@@ -38,6 +39,7 @@ REGISTRY = {
     "fig14": fig14_rename,
     "fig15": fig15_batching,
     "fig16": fig16_availability,
+    "fig17": fig17_async_updates,
     "table1": table1_access_matrix,
     "table3": table3_clients,
 }

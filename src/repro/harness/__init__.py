@@ -4,9 +4,16 @@ from .availability import AvailabilityResult, run_availability
 from .mdtest import FILE_META_OPS, LATENCY_OPS, run_latency
 from .registry import LABELS, SYSTEM_NAMES, make_system
 from .report import format_metrics, format_series, format_table, normalize
-from .runner import ThroughputResult, run_throughput
+from .runner import (
+    MIX_READ_MOSTLY,
+    MIX_UPDATE_HEAVY,
+    MixedThroughputResult,
+    ThroughputResult,
+    run_mixed_throughput,
+    run_throughput,
+)
 from .trace import TraceGenerator
-from .workloads import TABLE3_CLIENTS, Workload, clients_for
+from .workloads import TABLE3_CLIENTS, Workload, ZipfPicker, clients_for
 
 __all__ = [
     "AvailabilityResult",
@@ -21,10 +28,15 @@ __all__ = [
     "format_series",
     "format_table",
     "normalize",
+    "MIX_READ_MOSTLY",
+    "MIX_UPDATE_HEAVY",
+    "MixedThroughputResult",
     "ThroughputResult",
+    "run_mixed_throughput",
     "run_throughput",
     "TraceGenerator",
     "TABLE3_CLIENTS",
     "Workload",
+    "ZipfPicker",
     "clients_for",
 ]

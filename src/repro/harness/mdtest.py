@@ -12,7 +12,7 @@ from repro.sim.costmodel import CostModel
 from repro.sim.rpc import LocalCharge
 
 from .registry import make_system
-from .workloads import Workload
+from .workloads import Workload, ZipfPicker
 
 #: phases in execution order; "touch" is mdtest's file-create
 LATENCY_OPS = ("mkdir", "touch", "dir-stat", "file-stat", "readdir", "rm", "rmdir")
@@ -62,6 +62,8 @@ def run_latency(
     metrics=None,
     telemetry=None,
     shards: int = 1,
+    zipf_s: float | None = None,
+    zipf_seed: int = 0,
 ) -> LatencyRecorder:
     """Run the mdtest latency phases; returns per-op latency samples (µs).
 
@@ -71,6 +73,14 @@ def run_latency(
     recorded beyond the exact samples.  ``shards > 1`` partitions the
     servers across worker processes (:mod:`repro.sim.shard`) with
     bit-identical virtual time.
+
+    ``zipf_s`` skews the *non-destructive* phases (dir-stat, file-stat and
+    the Fig. 11 file-metadata ops): each of the ``n_items`` accesses picks
+    its target by a Zipf(``zipf_s``) draw instead of visiting items
+    sequentially — modeling hot-entry popularity, the regime where the
+    LocoFS-A lookup-cache tier pays off.  ``None``/``0`` keeps the exact
+    sequential (golden) behavior; create/remove phases always stay
+    sequential so every path is created and removed exactly once.
     """
     from repro.obs import get_default_registry, get_default_telemetry
     from repro.sim.shard import shard_system
@@ -98,6 +108,12 @@ def run_latency(
         engine.run(_measured(client, cost, call))
         rec.record(op, engine.now - t0)
 
+    if zipf_s:
+        picker = ZipfPicker(n_items, zipf_s, seed=zipf_seed)
+        pick = lambda _n: picker.pick()  # noqa: E731
+    else:
+        pick = lambda n: n  # noqa: E731
+
     if "mkdir" in ops:
         for n in range(n_items):
             timed("mkdir", _op_call("mkdir", wl, 0, n))
@@ -112,14 +128,14 @@ def run_latency(
             client.create(wl.file_path(0, n))
     if "dir-stat" in ops:
         for n in range(n_items):
-            timed("dir-stat", _op_call("dir-stat", wl, 0, n))
+            timed("dir-stat", _op_call("dir-stat", wl, 0, pick(n)))
     if "file-stat" in ops:
         for n in range(n_items):
-            timed("file-stat", _op_call("file-stat", wl, 0, n))
+            timed("file-stat", _op_call("file-stat", wl, 0, pick(n)))
     for op in FILE_META_OPS:
         if op in ops:
             for n in range(n_items):
-                timed(op, _op_call(op, wl, 0, n))
+                timed(op, _op_call(op, wl, 0, pick(n)))
     if "readdir" in ops:
         # the paper reads a directory holding 10 k entries; n_items stands in
         t0 = engine.now

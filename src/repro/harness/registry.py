@@ -8,6 +8,9 @@ Names follow the paper's figure legends:
   (Fig. 11; ``locofs-c`` is ``locofs-df``)
 * ``locofs-b`` — write-behind batched metadata RPCs on top of
   ``locofs-c`` (beyond the paper; Fig. 15)
+* ``locofs-a`` — dependency-aware asynchronous metadata updates (all
+  small updates defer, not just creates) plus the shared hot-entry
+  lookup-cache tier (beyond the paper; Fig. 17)
 * ``lustre-d1`` / ``lustre-d2`` — Lustre DNE1 / DNE2
 * ``cephfs``, ``gluster``, ``indexfs``, ``rawkv``
 """
@@ -21,7 +24,12 @@ from repro.baselines import (
     LustreSystem,
     RawKVSystem,
 )
-from repro.common.config import BatchConfig, CacheConfig, ClusterConfig
+from repro.common.config import (
+    BatchConfig,
+    CacheConfig,
+    ClusterConfig,
+    LookupCacheConfig,
+)
 from repro.core.fs import LocoFS
 from repro.sim.costmodel import CostModel
 
@@ -31,6 +39,7 @@ SYSTEM_NAMES = [
     "locofs-cf",
     "locofs-df",
     "locofs-b",
+    "locofs-a",
     "cephfs",
     "gluster",
     "lustre-d1",
@@ -46,6 +55,7 @@ LABELS = {
     "locofs-cf": "LocoFS-CF",
     "locofs-df": "LocoFS-DF",
     "locofs-b": "LocoFS-B",
+    "locofs-a": "LocoFS-A",
     "cephfs": "CephFS",
     "gluster": "Gluster",
     "lustre-d1": "Lustre D1",
@@ -73,6 +83,14 @@ def make_system(
         return LocoFS(
             ClusterConfig(num_metadata_servers=num_servers,
                           batch=BatchConfig(enabled=True)),
+            cost=cost, engine_kind=engine_kind,
+        )
+    if name == "locofs-a":
+        # dependency-aware async updates + lookup-cache tier (Fig. 17)
+        return LocoFS(
+            ClusterConfig(num_metadata_servers=num_servers,
+                          batch=BatchConfig(enabled=True, all_ops=True),
+                          lookup_cache=LookupCacheConfig(enabled=True)),
             cost=cost, engine_kind=engine_kind,
         )
     if name == "locofs-nc":

@@ -12,15 +12,17 @@ being assumed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 
+from repro.common.errors import FSError
 from repro.common.stats import iops
 from repro.sim.costmodel import CostModel
 from repro.sim.rpc import LocalCharge
 
 from .mdtest import _op_call
 from .registry import make_system
-from .workloads import Workload, clients_for
+from .workloads import Workload, ZipfPicker, clients_for
 
 
 @dataclass
@@ -225,4 +227,227 @@ def run_throughput(
         elapsed_us=elapsed,
         iops=iops(box["ops"], elapsed),
         server_utilization=util,
+    )
+
+
+# --- mixed-op workloads (Fig. 17) ------------------------------------------------
+
+#: metadata-update-heavy mix: the regime where dependency-aware
+#: write-behind (LocoFS-A) should pull ahead of create-only batching
+#: (pure updates — reads would force dependent flushes and belong to the
+#: read-mostly mix below)
+MIX_UPDATE_HEAVY: dict[str, float] = {
+    "create": 0.30,
+    "chmod": 0.25,
+    "chown": 0.10,
+    "unlink": 0.15,
+    "rename": 0.10,
+    "mkdir": 0.10,
+}
+
+#: read-mostly mix over a pre-created pool: the lookup-cache regime
+MIX_READ_MOSTLY: dict[str, float] = {
+    "stat": 0.60,
+    "access": 0.20,
+    "open": 0.10,
+    "chmod": 0.10,
+}
+
+
+@dataclass
+class MixedThroughputResult:
+    system: str
+    num_servers: int
+    num_clients: int
+    total_ops: int
+    elapsed_us: float
+    iops: float
+    op_counts: dict[str, int]
+    errors: int
+    cache_stats: dict[str, int] = field(default_factory=dict)
+    cache_hit_rate: float | None = None
+
+
+def _mixed_gen(client, wl: Workload, cid: int, mix, cost: CostModel, box: dict,
+               seed: int, zipf_s: float | None, pool: int):
+    """One client's mixed-op stream, driven by a per-client seeded RNG.
+
+    The client keeps a local model of its own namespace (per-client working
+    directories never overlap), so every generated op is valid under
+    sequential per-client semantics — which write-behind must preserve.
+    ``FSError`` is still swallowed per op: a deferred error surfaces from
+    whichever later op triggers the flush, and one bad op must not kill
+    the whole client's stream.
+    """
+    rng = random.Random((cid * 2654435761 + seed) & 0xFFFFFFFF)
+    ops = sorted(mix)
+    weights = [mix[o] for o in ops]
+    cum = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cum.append(acc)
+    picker = ZipfPicker(max(pool, 1), zipf_s, seed=seed * 31 + cid) if zipf_s else None
+    live = [f"f{n:06d}" for n in range(pool)]
+    fresh = pool
+    dfresh = 0
+    workdir = wl.work_dir(cid)
+    overhead = LocalCharge(cost.client_overhead_us)
+
+    def hot_index() -> int:
+        if picker is not None:
+            return picker.pick() % len(live)
+        return rng.randrange(len(live))
+
+    for _ in range(wl.items_per_client):
+        yield overhead
+        op = rng.choices(ops, cum_weights=cum)[0]
+        if not live and op in ("stat", "access", "open", "chmod", "chown",
+                               "unlink", "rename"):
+            op = "create"
+        try:
+            if op == "create":
+                name = f"f{fresh:06d}"
+                fresh += 1
+                yield from client.op_generator("create", f"{workdir}/{name}")
+                live.append(name)
+            elif op == "mkdir":
+                yield from client.op_generator("mkdir", wl.dir_path(cid, dfresh))
+                dfresh += 1
+            elif op == "unlink":
+                name = live.pop(rng.randrange(len(live)))
+                yield from client.op_generator("unlink", f"{workdir}/{name}")
+            elif op == "rename":
+                i = rng.randrange(len(live))
+                src = live[i]
+                dst = f"f{fresh:06d}"
+                fresh += 1
+                yield from client.op_generator(
+                    "rename", f"{workdir}/{src}", f"{workdir}/{dst}")
+                live[i] = dst
+            elif op == "chmod":
+                name = live[hot_index()]
+                yield from client.op_generator(
+                    "chmod", f"{workdir}/{name}", rng.choice((0o600, 0o640, 0o644)))
+            elif op == "chown":
+                name = live[hot_index()]
+                yield from client.op_generator(
+                    "chown", f"{workdir}/{name}", 1000 + fresh % 7, 1000)
+            elif op == "stat":
+                name = live[hot_index()]
+                yield from client.op_generator("stat_file", f"{workdir}/{name}")
+            elif op == "access":
+                name = live[hot_index()]
+                yield from client.op_generator("access", f"{workdir}/{name}", 4)
+            elif op == "open":
+                name = live[hot_index()]
+                yield from client.op_generator("open", f"{workdir}/{name}", 4)
+            else:
+                raise ValueError(f"unknown mix op {op!r}")
+        except FSError:
+            box["errors"] += 1
+        box["ops"] += 1
+        box["per_op"][op] = box["per_op"].get(op, 0) + 1
+    yield from _drain_writebehind(client)
+
+
+def _mixed_setup(client, wl: Workload, cid: int, pool: int):
+    for path in wl.dir_chain(cid):
+        yield from client.op_generator("mkdir", path)
+    for n in range(pool):
+        yield from client.op_generator("create", wl.file_path(cid, n))
+    yield from _drain_writebehind(client)
+
+
+def run_mixed_throughput(
+    system_name: str,
+    num_servers: int,
+    mix: dict[str, float] | None = None,
+    num_clients: int = 16,
+    items_per_client: int = 60,
+    depth: int = 1,
+    pool: int = 20,
+    zipf_s: float | None = None,
+    seed: int = 0,
+    cost: CostModel | None = None,
+    metrics=None,
+    telemetry=None,
+) -> MixedThroughputResult:
+    """Closed-loop mixed-op throughput on the event engine (Fig. 17).
+
+    Every client pre-creates ``pool`` files (unmeasured), then performs
+    ``items_per_client`` ops drawn from the weighted ``mix`` with a
+    per-client seeded RNG — deterministic across runs and identical in
+    op sequence for every system, so cells are comparable.  ``zipf_s``
+    skews which live file the read/update ops target (hot-entry
+    popularity); creates/unlinks/renames always pick uniformly so the
+    namespace churns realistically.  When the deployment carries a
+    lookup-cache tier, its hit/miss/invalidation counters and hit rate
+    are returned in the result.
+    """
+    from repro.obs import get_default_registry, get_default_telemetry
+
+    cost = cost or CostModel()
+    mix = mix or MIX_UPDATE_HEAVY
+    if metrics is None:
+        metrics = get_default_registry()
+    if telemetry is None:
+        telemetry = get_default_telemetry()
+    system = make_system(system_name, num_servers, cost=cost, engine_kind="event")
+    engine = system.engine
+    if metrics is not None or telemetry is not None:
+        engine.attach_observability(metrics=metrics, telemetry=telemetry)
+    wl = Workload(items_per_client=items_per_client, depth=depth)
+
+    errors: list[BaseException] = []
+
+    def on_done(value, exc):
+        if exc is not None:
+            errors.append(exc)
+
+    clients = [system.client() for _ in range(num_clients)]
+    for cid, client in enumerate(clients):
+        engine.spawn(_mixed_setup(client, wl, cid, pool), on_done,
+                     client=engine.new_client())
+    engine.sim.run()
+    if errors:
+        raise errors[0]
+
+    cache = getattr(system, "lookup_cache", None)
+    if cache is not None:
+        # measure hit rate over the measured wave only
+        cache.counters.clear()
+
+    t0 = engine.sim.now
+    box = {"ops": 0, "errors": 0, "per_op": {}}
+    for cid, client in enumerate(clients):
+        engine.spawn(
+            _mixed_gen(client, wl, cid, mix, cost, box, seed, zipf_s, pool),
+            on_done, client=engine.new_client())
+    engine.sim.run()
+    if errors:
+        raise errors[0]
+    elapsed = engine.sim.now - t0
+
+    cache_stats: dict[str, int] = {}
+    hit_rate = None
+    if cache is not None:
+        cache_stats = cache.counters.snapshot()
+        hit_rate = cache.hit_rate()
+    if metrics is not None:
+        metrics.counter(f"harness.{system_name}.measured_ops").inc(box["ops"])
+    close = getattr(system, "close", None)
+    if close:
+        close()
+    return MixedThroughputResult(
+        system=system_name,
+        num_servers=num_servers,
+        num_clients=num_clients,
+        total_ops=box["ops"],
+        elapsed_us=elapsed,
+        iops=iops(box["ops"], elapsed),
+        op_counts=dict(sorted(box["per_op"].items())),
+        errors=box["errors"],
+        cache_stats=cache_stats,
+        cache_hit_rate=hit_rate,
     )

@@ -9,6 +9,8 @@ by the throughput experiments.
 
 from __future__ import annotations
 
+import bisect
+import random
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -40,6 +42,39 @@ def clients_for(system: str, num_servers: int, scale: float = 1.0) -> int:
         nearest = min(table, key=lambda k: abs(k - num_servers))
         n = max(10, int(table[nearest] * num_servers / nearest))
     return max(2, int(round(n * scale)))
+
+
+class ZipfPicker:
+    """Zipf-skewed item picker: ``P(k) ∝ 1 / (k+1)^s`` over ``n`` items.
+
+    Models hot-directory/hot-file popularity (the access skew real
+    metadata traces show, and what makes a shared lookup-cache tier pay
+    off).  ``s = 0`` degenerates to uniform; typical traces fit
+    ``s ≈ 0.8–1.2``.  Deterministic given the seed: the CDF is
+    precomputed once and each pick is one ``random()`` + binary search.
+    """
+
+    def __init__(self, n: int, s: float, seed: int = 0):
+        if n < 1:
+            raise ValueError("need n >= 1 items")
+        if s < 0:
+            raise ValueError("zipf exponent must be >= 0")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (k + 1) ** s for k in range(n)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # guard against float drift
+        self._cdf = cdf
+
+    def pick(self) -> int:
+        """The next item index (0-based; 0 is the hottest)."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
 
 
 @dataclass(frozen=True)

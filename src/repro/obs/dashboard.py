@@ -187,6 +187,27 @@ def _clean(value):
     return value
 
 
+def _cache_table(stats: dict | None) -> str:
+    """Hit/miss/invalidation panel for the lookup-cache tier (LocoFS-A)."""
+    if not stats:
+        return ""
+    hits = stats.get("hits", 0)
+    misses = stats.get("misses", 0)
+    total = hits + misses
+    rate = hits / total if total else 0.0
+    cls = "pass" if rate >= 0.5 else "fail"
+    cells = "".join(
+        f"<td>{stats.get(k, 0):,}</td>"
+        for k in ("hits", "misses", "fills", "fills_rejected",
+                  "invalidations", "evictions"))
+    return (
+        "<h2>Lookup-cache tier</h2>"
+        "<table><tr><th>hits</th><th>misses</th><th>fills</th>"
+        "<th>fills rejected</th><th>invalidations</th><th>evictions</th>"
+        "<th>hit rate</th></tr>"
+        f"<tr>{cells}<td class='{cls}'>{rate * 100:.1f}%</td></tr></table>")
+
+
 def _slo_table(report: dict | None) -> str:
     if not report:
         return "<p class='meta'>no SLO report attached</p>"
@@ -219,19 +240,24 @@ def _slo_table(report: dict | None) -> str:
 
 
 def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
-                     slo_spec=None, meta: dict | None = None) -> str:
+                     slo_spec=None, meta: dict | None = None,
+                     cache_stats: dict | None = None) -> str:
     """Render one self-contained HTML page from a telemetry sink.
 
     ``slo_report`` is an :func:`repro.obs.slo.evaluate_slo` result;
     passing ``slo_spec`` as well adds per-objective burn strips.  ``meta``
     is free-form run metadata shown in the header (system, scenario, ...).
+    ``cache_stats`` (the lookup-cache tier's counter snapshot, when the
+    deployment has one) adds a hit/miss/invalidation panel with the hit
+    rate.
     """
     snap = sink.snapshot()
     slo_doc = dict(slo_report) if slo_report else None
     if slo_doc is not None and slo_spec is not None:
         slo_doc["burn_timelines"] = {
             obj.name: burn_timeline(obj, sink) for obj in slo_spec.objectives}
-    data = _clean({"telemetry": snap, "slo": slo_doc, "meta": meta or {}})
+    data = _clean({"telemetry": snap, "slo": slo_doc, "meta": meta or {},
+                   "cache": cache_stats or None})
     # </script> inside a JSON string would end the data block early
     payload = json.dumps(data, allow_nan=False).replace("</", "<\\/")
     title = "repro telemetry dashboard"
@@ -251,6 +277,7 @@ def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
 <p class="meta">{html.escape(head)}{" · " + meta_bits if meta_bits else ""}</p>
 <h2>SLO verdicts</h2>
 {_slo_table(slo_doc)}
+{_cache_table(cache_stats)}
 <h2>SLO burn strips (per window)</h2>
 <div id="burn"></div>
 <h2>Throughput (ops/s per window)</h2>
@@ -268,6 +295,7 @@ def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
 
 
 def write_dashboard(path, sink: TelemetrySink, slo_report: dict | None = None,
-                    slo_spec=None, meta: dict | None = None) -> None:
+                    slo_spec=None, meta: dict | None = None,
+                    cache_stats: dict | None = None) -> None:
     with open(path, "w") as f:
-        f.write(render_dashboard(sink, slo_report, slo_spec, meta))
+        f.write(render_dashboard(sink, slo_report, slo_spec, meta, cache_stats))

@@ -62,6 +62,14 @@ class CostModel:
     #: the Fig. 8/9 throughput ordering.
     conn_switch_us: float = 60.0
 
+    #: round trip to an on-path lookup-cache node (Fletch-style: the cache
+    #: lives in the ToR switch / SmartNIC tier, so a request reaches it in
+    #: single-digit microseconds — P4 switch port-to-port latency is
+    #: ~1 µs/hop; 5 µs covers client NIC + one switch traversal both ways).
+    #: Requests to a switch node never pay ``conn_switch_us`` and never
+    #: displace the client's established server connection.
+    switch_rtt_us: float = 5.0
+
     # --- client request path ----------------------------------------------------
     #: per-operation client-side cost (mdtest + client library + syscall
     #: path).  Calibrated from Fig. 6: cached LocoFS touch ≈ 1.3x RTT, i.e.

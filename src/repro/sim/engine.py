@@ -130,6 +130,19 @@ class _ObservableEngine:
     #: an un-attached engine's virtual time is bit-identical to before
     faults: FaultState | None = None
     retry: RetryPolicy | None = None
+    #: on-path "switch" nodes (Fletch-style lookup caches): maps server
+    #: name -> one-way latency in µs.  RPCs to a switch node skip the
+    #: connection-switch charge, never displace ``last_server``, and pay
+    #: the switch half-RTT instead of the network half-RTT.  Stays ``None``
+    #: unless a deployment registers one, so every existing system's
+    #: virtual-time arithmetic is untouched (one extra ``is None`` test).
+    switch_nodes: dict | None = None
+
+    def register_switch_node(self, name: str, rtt_us: float) -> None:
+        """Mark ``name`` as an on-path switch node with the given RTT."""
+        if self.switch_nodes is None:
+            self.switch_nodes = {}
+        self.switch_nodes[name] = rtt_us / 2.0
 
     def attach_observability(self, tracer=None, metrics=None,
                              telemetry=None) -> None:
@@ -437,7 +450,14 @@ class DirectEngine(_ObservableEngine):
         cost = self.cost
         node = self._nodes[rpc.server]
         client = self._client
-        if single:
+        half = self._half_rtt
+        sw = self.switch_nodes
+        on_path = sw is not None and rpc.server in sw
+        if on_path:
+            # switch node: on the wire path already — near-zero latency, no
+            # connection churn, and the established server stays connected
+            half = sw[rpc.server]
+        elif single:
             if client.last_server is not None and client.last_server != rpc.server:
                 self.now += cost.conn_switch_us
             client.last_server = rpc.server
@@ -448,7 +468,7 @@ class DirectEngine(_ObservableEngine):
         # request wire time (unless the caller accounted it) + half RTT out
         if transfers and rpc.send_bytes:
             self.now += cost.transfer_us(rpc.send_bytes)
-        self.now += self._half_rtt
+        self.now += half
         # FIFO service: parallel branches hitting one server queue up
         arrive = self.now
         faults = self.faults
@@ -496,7 +516,7 @@ class DirectEngine(_ObservableEngine):
                     nbytes = len(result)
                 if nbytes:
                     self.now += cost.transfer_us(nbytes)
-            self.now += self._half_rtt
+            self.now += half
             if rpc_span is not None:
                 self.tracer.end(rpc_span, self.now)
         return result
@@ -838,7 +858,12 @@ class EventEngine(_ObservableEngine):
             delay = cost.transfer_us(rpc.send_bytes) + extra_delay
         else:
             delay = extra_delay
-        if single:
+        half = self._half_rtt
+        sw = self.switch_nodes
+        if sw is not None and rpc.server in sw:
+            # on-path switch node: no connection churn, near-zero latency
+            half = sw[rpc.server]
+        elif single:
             if state.last_server is not None and state.last_server != rpc.server:
                 delay += cost.conn_switch_us
             state.last_server = rpc.server
@@ -851,7 +876,7 @@ class EventEngine(_ObservableEngine):
         # zero-RTT cost model) routes to the ready queue exactly as at()
         sim = self.sim
         now = sim.now
-        deliver_at = now + delay + self._half_rtt
+        deliver_at = now + delay + half
         args = (proc, rpc, single, group, rpc_span, attempt)
         if deliver_at > now:
             sim._seq = seq = sim._seq + 1
@@ -922,7 +947,11 @@ class EventEngine(_ObservableEngine):
                 self._sample_server(rpc.server, node, arrive, finish)
         # the response reaches the client after the wire latency, then its
         # payload must cross the client's (serialized) downlink
-        reach_client = finish + self._half_rtt
+        half = self._half_rtt
+        sw = self.switch_nodes
+        if sw is not None and rpc.server in sw:
+            half = sw[rpc.server]
+        reach_client = finish + half
         nbytes = rpc.recv_bytes
         if not nbytes and isinstance(result, (bytes, bytearray)):
             nbytes = len(result)

@@ -15,7 +15,12 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.common import pathutil
-from repro.common.config import CacheConfig, ClusterConfig
+from repro.common.config import (
+    BatchConfig,
+    CacheConfig,
+    ClusterConfig,
+    LookupCacheConfig,
+)
 from repro.common.errors import (
     Exists,
     FSError,
@@ -202,6 +207,120 @@ def apply_to(target, op_tuple):
         target.rename(op_tuple[1], op_tuple[2])
     elif op == "write":
         target.write(op_tuple[1], op_tuple[2], op_tuple[3])
+
+
+# --- write-behind vs synchronous client (LocoFS-A/B differential) -----------
+#
+# The deferred clients promise: after a final flush, the namespace AND the
+# attributes equal what the synchronous client produces from the same op
+# sequence, and any read issued mid-sequence returns the same result
+# (read-your-writes forces exactly the dependent flush).  Error *timing*
+# legitimately differs — a deferred unlink of a missing file reports
+# NoEntry at flush, the sync client at call — so mutator errors are
+# swallowed on both sides and equivalence is asserted on states and on
+# successful read results.
+
+DEFERRED_SYSTEMS = {
+    "locofs-b": lambda: LocoFS(ClusterConfig(
+        num_metadata_servers=3, batch=BatchConfig(enabled=True))),
+    "locofs-a": lambda: LocoFS(ClusterConfig(
+        num_metadata_servers=3, batch=BatchConfig(enabled=True, all_ops=True),
+        lookup_cache=LookupCacheConfig(enabled=True))),
+    "locofs-a-1fms": lambda: LocoFS(ClusterConfig(
+        num_metadata_servers=1, batch=BatchConfig(enabled=True, all_ops=True),
+        lookup_cache=LookupCacheConfig(enabled=True))),
+}
+
+_READ_OPS = ("stat", "access", "readdir")
+
+mixed_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), paths),
+        st.tuples(st.just("create"), paths),
+        st.tuples(st.just("unlink"), paths),
+        st.tuples(st.just("rmdir"), paths),
+        st.tuples(st.just("rename"), paths, paths),
+        st.tuples(st.just("chmod"), paths, st.sampled_from((0o600, 0o640, 0o755))),
+        st.tuples(st.just("chown"), paths, st.integers(0, 3), st.integers(0, 3)),
+        st.tuples(st.just("write"), paths, st.integers(0, 60),
+                  st.binary(min_size=1, max_size=30)),
+        st.tuples(st.just("stat"), paths),
+        st.tuples(st.just("access"), paths),
+        st.tuples(st.just("readdir"), paths),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _apply_mixed(client, op_tuple):
+    op = op_tuple[0]
+    if op == "stat":
+        s = client.stat(op_tuple[1])
+        return ("stat", s.st_mode, s.st_uid, s.st_gid, s.st_size)
+    if op == "access":
+        return ("access", client.access(op_tuple[1], 4))
+    if op == "readdir":
+        return ("readdir", tuple(sorted(e.name for e in client.readdir(op_tuple[1]))))
+    getattr(client, op)(*op_tuple[1:])
+    return ("ok",)
+
+
+def snapshot_attrs(client) -> tuple:
+    """Full namespace walk including mode/uid/gid (+ size for files)."""
+    dirs = []
+    files = []
+    stack = ["/"]
+    while stack:
+        d = stack.pop()
+        sd = client.stat_dir(d)
+        dirs.append((d, sd.st_mode, sd.st_uid, sd.st_gid))
+        for e in client.readdir(d):
+            child = pathutil.join(d, e.name)
+            if e.is_dir:
+                stack.append(child)
+            else:
+                s = client.stat_file(child)
+                files.append((child, s.st_mode, s.st_uid, s.st_gid, s.st_size))
+    return frozenset(dirs), tuple(sorted(files))
+
+
+@pytest.mark.parametrize("deferred_name", sorted(DEFERRED_SYSTEMS))
+@given(ops=mixed_operations)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_writebehind_differential(deferred_name, ops):
+    sync_system = LocoFS(ClusterConfig(num_metadata_servers=3))
+    deferred_system = DEFERRED_SYSTEMS[deferred_name]()
+    sync_client = sync_system.client()
+    deferred_client = deferred_system.client()
+    for op_tuple in ops:
+        try:
+            want = _apply_mixed(sync_client, op_tuple)
+            werr = None
+        except FSError as e:
+            want, werr = None, type(e)
+        try:
+            got = _apply_mixed(deferred_client, op_tuple)
+            gerr = None
+        except FSError:
+            got, gerr = None, FSError
+        if op_tuple[0] in _READ_OPS and gerr is not None and werr is None:
+            # a deferred mutator's error surfaced through the flush this
+            # read forced; the report is one-shot — the read itself must
+            # now succeed against the drained queue
+            got = _apply_mixed(deferred_client, op_tuple)
+        if op_tuple[0] in _READ_OPS and werr is None and got is not None:
+            assert got == want, (op_tuple, want, got)
+    for _ in range(10):
+        try:
+            deferred_client.flush()
+            break
+        except FSError:
+            continue
+    assert deferred_client.pending_ops == 0
+    assert snapshot_attrs(deferred_client) == snapshot_attrs(sync_client)
+    assert snapshot_real(deferred_client, None) == snapshot_real(sync_client, None)
 
 
 @pytest.mark.parametrize("system_name", sorted(SYSTEMS))
