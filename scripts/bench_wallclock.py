@@ -81,6 +81,9 @@ SCALES = {
         "xl_client_scale": 10.0,
         "mixed_clients": 32,
         "mixed_items": 150,
+        "openloop_loads": (20_000.0, 80_000.0, 320_000.0),
+        "openloop_horizon_us": 100_000.0,
+        "openloop_servers": 4,
     },
     "quick": {
         "direct_items": 60,
@@ -97,6 +100,9 @@ SCALES = {
         "xl_client_scale": 10.0,
         "mixed_clients": 8,
         "mixed_items": 30,
+        "openloop_loads": (20_000.0, 80_000.0),
+        "openloop_horizon_us": 30_000.0,
+        "openloop_servers": 2,
     },
 }
 
@@ -336,6 +342,44 @@ def bench_obs_overhead(scale: dict) -> dict:
     }
 
 
+def bench_openloop_sweep(scale: dict) -> dict:
+    """Open-loop capacity sweep wall clock (dl-pipeline, two systems).
+
+    Measures the per-cell cost of the ISSUE-9 observatory: every swept
+    (system, load) cell builds a fresh system, injects precomputed
+    arrivals, and drains.  ``ops_per_s`` is offered arrivals processed
+    per wall second across the whole sweep; the locofs-nc knee is
+    reported so a quick eyeball catches an ordering regression before
+    the CI gate does.
+    """
+    from repro.obs.capacity import sweep_capacity
+
+    loads = tuple(scale["openloop_loads"])
+    t0 = time.perf_counter()
+    report = sweep_capacity(
+        systems=("locofs-c", "locofs-nc"),
+        pack="dl-pipeline",
+        loads=loads,
+        num_servers=scale["openloop_servers"],
+        horizon_us=scale["openloop_horizon_us"],
+        attribution=False,
+        shards=scale.get("shards", 1),
+    )
+    wall = time.perf_counter() - t0
+    offered = sum(pt["offered"] for entry in report["systems"].values()
+                  for pt in entry["points"])
+    horizon_s = scale["openloop_horizon_us"] / 1e6
+    ops = int(round(offered * horizon_s))  # arrivals, summed over cells
+    nc_knee = report["systems"]["locofs-nc"]["knee"]
+    return {
+        "ops": ops,
+        "cells": len(loads) * len(report["systems"]),
+        "wall_s": wall,
+        "ops_per_s": ops / wall,
+        "nc_knee_load": None if nc_knee is None else nc_knee["load"],
+    }
+
+
 BENCHMARKS = {
     "direct_mdtest": bench_direct_mdtest,
     "event_fig8": bench_event_fig8,
@@ -345,6 +389,7 @@ BENCHMARKS = {
     "namespace_build": bench_namespace_build,
     "namespace_build_10m": bench_namespace_build_10m,
     "obs_overhead": bench_obs_overhead,
+    "openloop_sweep": bench_openloop_sweep,
 }
 
 

@@ -12,6 +12,8 @@ Usage::
     python -m repro dashboard locofs-nc --out dash.html   # telemetry HTML
     python -m repro trace locofs --out trace.json   # Perfetto trace of a run
     python -m repro analyze locofs-c locofs-b       # latency attribution
+    python -m repro capacity --sweep --json cap.json  # open-loop knee sweep
+    python -m repro slo locofs-a --scenario churn --check  # throughput floor
     python -m repro fsck-demo                 # build, corrupt, detect
 
 Every workload verb shares one observability flag group (declared once,
@@ -88,10 +90,12 @@ def _telemetry_sink(args, force: bool = False):
 
 
 def _load_spec(name: str | None):
-    from repro.obs.slo import SLOSpec, default_spec
+    from repro.obs.slo import SLOSpec, default_spec, openloop_spec
 
     if name is None or name == "default":
         return default_spec()
+    if name == "openloop":
+        return openloop_spec()
     return SLOSpec.from_file(name)
 
 
@@ -195,6 +199,8 @@ def _cmd_run(args) -> int:
                     kwargs["base_dirs"] = 2000
                 if "group_sizes" in params:
                     kwargs["group_sizes"] = (200, 500)
+                if "quick" in params:
+                    kwargs["quick"] = True
             _show(mod.run(**kwargs))
     finally:
         if registry is not None:
@@ -291,7 +297,7 @@ def _cmd_availability(args) -> int:
 
 
 def _cmd_slo(args) -> int:
-    """Run the fig16-style crash scenario under telemetry, judge the SLOs."""
+    """Run a crash or open-loop churn scenario under telemetry, judge SLOs."""
     import json
 
     from repro.harness import SYSTEM_NAMES, run_availability
@@ -303,15 +309,28 @@ def _cmd_slo(args) -> int:
         return 2
     registry = _metrics_registry(args)
     sink = _telemetry_sink(args, force=True)
-    r = run_availability(
-        system, num_servers=args.num_servers, crash_server=args.crash,
-        num_clients=args.clients, items_per_client=args.items,
-        crash_at_frac=args.crash_at, down_frac=args.down, seed=args.seed,
-        metrics=registry, telemetry=sink)
-    print(f"{system} with {r.crash_server} crashed mid-run: "
-          f"goodput {r.goodput_iops:,.0f} IOPS "
-          f"(baseline {r.baseline_iops:,.0f}), "
-          f"retries {r.retries}, gaveups {r.gaveups}")
+    if args.scenario == "churn":
+        from repro.harness import run_openloop
+
+        r = run_openloop(system, args.num_servers, pack="container-churn",
+                         rate=args.rate, horizon_us=args.horizon_us,
+                         seed=args.seed, metrics=registry, telemetry=sink)
+        print(f"{system} container-churn at {args.rate:,.0f} offered ops/s: "
+              f"goodput {r.goodput_iops:,.0f} IOPS "
+              f"(offered {r.offered_iops:,.0f}), shed {r.shed}, "
+              f"abandoned {r.abandoned}, errors {r.errors}")
+        if args.slo is None:
+            args.slo = "openloop"   # open-loop runs judge the floor spec
+    else:
+        r = run_availability(
+            system, num_servers=args.num_servers, crash_server=args.crash,
+            num_clients=args.clients, items_per_client=args.items,
+            crash_at_frac=args.crash_at, down_frac=args.down, seed=args.seed,
+            metrics=registry, telemetry=sink)
+        print(f"{system} with {r.crash_server} crashed mid-run: "
+              f"goodput {r.goodput_iops:,.0f} IOPS "
+              f"(baseline {r.baseline_iops:,.0f}), "
+              f"retries {r.retries}, gaveups {r.gaveups}")
     spec = _load_spec(args.slo)
     report = evaluate_slo(spec, sink)
     print(format_slo(report))
@@ -529,6 +548,69 @@ def _cmd_analyze(args) -> int:
     return status
 
 
+def _cmd_capacity(args) -> int:
+    """Sweep offered load per system; report knees and phase attribution."""
+    from repro.harness import SYSTEM_NAMES
+    from repro.obs.capacity import (
+        capacity_json,
+        format_capacity,
+        knee_ordering_ok,
+        sweep_capacity,
+    )
+
+    systems = tuple(_SYSTEM_ALIASES.get(s, s) for s in args.systems)
+    unknown = [s for s in systems if s not in SYSTEM_NAMES]
+    if unknown:
+        print(f"unknown system(s): {', '.join(unknown)}; try 'list'",
+              file=sys.stderr)
+        return 2
+    loads = tuple(float(x) for x in args.loads.split(","))
+    report = sweep_capacity(
+        systems=systems, pack=args.pack, loads=loads,
+        num_servers=args.num_servers, horizon_us=args.horizon_us,
+        seed=args.seed, attribution=not args.no_attribution,
+        shards=args.shards)
+    print(format_capacity(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(capacity_json(report))
+        print(f"capacity report written to {args.json}")
+    if args.dashboard_out:
+        from repro.obs.dashboard import write_dashboard
+        from repro.obs.telemetry import TelemetrySink
+
+        write_dashboard(args.dashboard_out, TelemetrySink(),
+                        meta={"pack": args.pack, "servers": args.num_servers},
+                        capacity=report)
+        print(f"capacity dashboard written to {args.dashboard_out}")
+    status = 0
+    if args.check:
+        slower, _, faster = args.check_pair.partition(":")
+        slower = _SYSTEM_ALIASES.get(slower, slower)
+        faster = _SYSTEM_ALIASES.get(faster, faster)
+        missing = [s for s in (slower, faster) if s not in report["systems"]]
+        if missing:
+            print(f"--check: {', '.join(missing)} not in the sweep",
+                  file=sys.stderr)
+            return 2
+        bad_points = [
+            (system, pt["load"])
+            for system, entry in report["systems"].items()
+            for pt in entry["points"] if not pt["conservation_ok"]
+        ]
+        if bad_points:
+            print(f"FAIL: conservation violated at {bad_points}",
+                  file=sys.stderr)
+            status = 1
+        if knee_ordering_ok(report, slower, faster):
+            print(f"check OK: knee({faster}) > knee({slower})")
+        else:
+            print(f"FAIL: knee({faster}) is not beyond knee({slower})",
+                  file=sys.stderr)
+            status = 1
+    return status
+
+
 def _cmd_fsck_demo(args) -> int:
     from repro.common.config import ClusterConfig
     from repro.core.fs import LocoFS
@@ -605,10 +687,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--check", action="store_true",
                    help="exit 1 if any acked create is lost (CI smoke)")
 
-    p = sub.add_parser("slo", help="run a crash scenario, judge SLO objectives",
+    p = sub.add_parser("slo", help="run a crash or churn scenario, judge SLO objectives",
                        parents=[obs])
     p.add_argument("system", help="system name ('locofs' = locofs-c)")
     p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--scenario", choices=("crash", "churn"), default="crash",
+                   help="crash = fig16-style faulted run (default); "
+                        "churn = open-loop container-churn pack judged "
+                        "against the throughput-floor spec")
+    p.add_argument("--rate", type=float, default=60_000.0, metavar="OPS",
+                   help="offered ops/s for --scenario churn")
+    p.add_argument("--horizon-us", type=float, default=150_000.0, metavar="US",
+                   help="open-loop horizon for --scenario churn")
     p.add_argument("--crash", default="dms", metavar="SERVER",
                    help="server to crash (default: dms, the fig16 worst case)")
     p.add_argument("--clients", type=int, default=8)
@@ -686,6 +776,45 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--soft-fail", action="store_true",
                    help="report drift but exit 0 (CI burn-in mode)")
 
+    p = sub.add_parser(
+        "capacity",
+        help="open-loop offered-load sweep: goodput curves, knees, attribution")
+    p.add_argument("systems", nargs="*",
+                   default=["locofs-c", "locofs-b", "locofs-nc"],
+                   help="systems to sweep (default: locofs-c locofs-b "
+                        "locofs-nc)")
+    p.add_argument("--sweep", action="store_true",
+                   help="run the sweep (the default action; flag kept for "
+                        "spelling symmetry with --check)")
+    p.add_argument("--pack", choices=("dl-pipeline", "container-churn",
+                                      "checkpoint-stampede"),
+                   default="dl-pipeline",
+                   help="scenario pack (default: dl-pipeline)")
+    p.add_argument("--loads", default="20000,40000,80000,160000,320000",
+                   metavar="OPS,...",
+                   help="comma-separated offered loads in ops/s")
+    p.add_argument("-n", "--num-servers", type=int, default=4)
+    p.add_argument("--horizon-us", type=float, default=200_000.0, metavar="US",
+                   help="open-loop injection horizon per cell")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition servers across N worker processes")
+    p.add_argument("--no-attribution", action="store_true",
+                   help="skip the traced pre-knee/at-knee re-runs")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the capacity report as canonical JSON "
+                        "(byte-stable for a fixed seed)")
+    p.add_argument("--dashboard-out", metavar="FILE", default=None,
+                   help="render the offered-vs-goodput / latency-vs-load "
+                        "panels as a self-contained HTML page")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 unless conservation holds at every point "
+                        "and the knee ordering of --check-pair holds")
+    p.add_argument("--check-pair", default="locofs-nc:locofs-b",
+                   metavar="SLOWER:FASTER",
+                   help="knee ordering to assert with --check "
+                        "(default locofs-nc:locofs-b)")
+
     sub.add_parser("fsck-demo", help="build a namespace, corrupt it, detect it")
 
     args = parser.parse_args(argv)
@@ -699,6 +828,7 @@ def main(argv: list[str] | None = None) -> int:
         "dashboard": _cmd_dashboard,
         "trace": _cmd_trace,
         "analyze": _cmd_analyze,
+        "capacity": _cmd_capacity,
         "fsck-demo": _cmd_fsck_demo,
     }[args.command](args)
 

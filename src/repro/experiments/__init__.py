@@ -20,6 +20,7 @@ from . import (
     fig15_batching,
     fig16_availability,
     fig17_async_updates,
+    fig18_openloop,
     table1_access_matrix,
     table3_clients,
 )
@@ -40,6 +41,7 @@ REGISTRY = {
     "fig15": fig15_batching,
     "fig16": fig16_availability,
     "fig17": fig17_async_updates,
+    "fig18": fig18_openloop,
     "table1": table1_access_matrix,
     "table3": table3_clients,
 }

@@ -2,6 +2,7 @@
 
 from .availability import AvailabilityResult, run_availability
 from .mdtest import FILE_META_OPS, LATENCY_OPS, run_latency
+from .openloop import PACK_NAMES, PACKS, OpenLoopResult, get_pack, run_openloop
 from .registry import LABELS, SYSTEM_NAMES, make_system
 from .report import format_metrics, format_series, format_table, normalize
 from .runner import (
@@ -21,6 +22,11 @@ __all__ = [
     "FILE_META_OPS",
     "LATENCY_OPS",
     "run_latency",
+    "PACK_NAMES",
+    "PACKS",
+    "OpenLoopResult",
+    "get_pack",
+    "run_openloop",
     "LABELS",
     "SYSTEM_NAMES",
     "make_system",

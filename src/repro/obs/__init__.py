@@ -25,7 +25,8 @@ from .analyze import (
     heat_timelines,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
-from .slo import Objective, SLOSpec, default_spec, evaluate_slo, format_slo
+from .slo import (Objective, SLOSpec, default_spec, evaluate_slo,
+                  format_slo, openloop_spec)
 from .telemetry import LogSketch, TelemetrySink
 from .tracer import Instant, KVTraceSink, NullTracer, Span, Tracer
 
@@ -45,6 +46,7 @@ __all__ = [
     "Objective",
     "SLOSpec",
     "default_spec",
+    "openloop_spec",
     "evaluate_slo",
     "format_slo",
     "PHASES",

@@ -5,9 +5,13 @@ snapshot, the SLO report, and optional run metadata) into a single HTML
 file whose inline vanilla-JS renders SVG charts client-side:
 
 * per-op throughput timeline (ops/s per window),
-* latency percentile lanes (p50/p95/p99 per window for the busiest ops),
+* latency percentile lanes (p50/p95/p99/p999 per window for the busiest
+  ops),
 * SLO burn-rate strips (one lane per objective, colored by burn),
-* per-server heat lanes (busy fraction as color, queue depth as text).
+* per-server heat lanes (busy fraction as color, queue depth as text),
+* optional open-loop capacity panels (offered-vs-goodput and
+  tail-latency-vs-load with knee markers) when a
+  :func:`repro.obs.capacity.sweep_capacity` report is attached.
 
 No network access, no external scripts, no fonts, no CSS frameworks —
 the file renders from ``file://`` on an air-gapped machine, which is the
@@ -150,12 +154,65 @@ const counts = {};
 const busiest = Object.keys(counts).sort((a, b) => counts[b] - counts[a])[0];
 if (busiest) {
   const lat = {};
-  ['p50', 'p95', 'p99'].forEach(q => lat[busiest + ' ' + q] = new Array(nWin).fill(0));
+  ['p50', 'p95', 'p99', 'p999'].forEach(q => lat[busiest + ' ' + q] = new Array(nWin).fill(0));
   (D.telemetry.windows || []).forEach(w => {
     const l = (w.latency || {})[busiest];
-    if (l) ['p50', 'p95', 'p99'].forEach(q => lat[busiest + ' ' + q][w.i] = l[q]);
+    if (l) ['p50', 'p95', 'p99', 'p999'].forEach(q => lat[busiest + ' ' + q][w.i] = l[q]);
   });
   timeline('latency', lat, 'µs');
+}
+
+// capacity sweep panels: series vs offered-load points (even x spacing,
+// load values as tick labels; knee marked with a ring on each curve)
+function xyPanel(containerId, xs, series, unit, markers) {
+  const names = Object.keys(series);
+  if (!names.length || !xs.length) return;
+  const H = 210, plotW = W - PAD - 10, plotH = H - 44;
+  let max = 0;
+  names.forEach(k => series[k].forEach(v => { if (v > max) max = v; }));
+  if (max <= 0) max = 1;
+  const svg = svgEl(W, H + 16 * names.length);
+  const X = j => PAD + plotW * (xs.length > 1 ? j / (xs.length - 1) : 0);
+  const Y = v => 8 + plotH - plotH * v / max;
+  for (let g = 0; g <= 4; g++) {
+    const y = 8 + plotH - plotH * g / 4;
+    el(svg, 'line', {x1: PAD, x2: PAD + plotW, y1: y, y2: y,
+      stroke: '#222a36', 'stroke-width': 1});
+    el(svg, 'text', {x: PAD - 6, y: y + 3, 'text-anchor': 'end',
+      class: 'axis'}, fmt(max * g / 4) + (unit || ''));
+  }
+  xs.forEach((x, j) => el(svg, 'text', {x: X(j), y: 8 + plotH + 12,
+    'text-anchor': 'middle', class: 'axis'}, fmt(x)));
+  el(svg, 'text', {x: PAD + plotW, y: 8 + plotH + 26, 'text-anchor': 'end',
+    class: 'axis'}, 'offered ops/s');
+  names.forEach((k, i) => {
+    const color = PALETTE[i % PALETTE.length];
+    polyline(svg, series[k].map((v, j) => [X(j), Y(v)]), color);
+    const ki = markers ? markers[k.split(' ')[0]] : undefined;
+    if (ki !== undefined && ki !== null && ki < series[k].length) {
+      el(svg, 'circle', {cx: X(ki), cy: Y(series[k][ki]), r: 4.5,
+        fill: 'none', stroke: color, 'stroke-width': 2});
+    }
+    el(svg, 'rect', {x: PAD, y: H + 16 * i, width: 10, height: 10,
+      fill: color});
+    el(svg, 'text', {x: PAD + 16, y: H + 16 * i + 9, class: 'lane-label'},
+      k + (ki !== undefined && ki !== null ? ` (knee @ ${fmt(xs[ki])})` : ''));
+  });
+  document.getElementById(containerId).appendChild(svg);
+}
+
+if (D.capacity && D.capacity.systems) {
+  const loads = D.capacity.loads;
+  const good = {}, tails = {}, knees = {};
+  Object.keys(D.capacity.systems).forEach(s => {
+    const e = D.capacity.systems[s];
+    good[s] = e.points.map(p => p.goodput);
+    tails[s + ' p99'] = e.points.map(p => p.p99 || 0);
+    tails[s + ' p999'] = e.points.map(p => p.p999 || 0);
+    if (e.knee) knees[s] = e.knee.index;
+  });
+  xyPanel('cap-goodput', loads, good, '', knees);
+  xyPanel('cap-latency', loads, tails, 'µs', knees);
 }
 
 // SLO burn strips
@@ -241,7 +298,8 @@ def _slo_table(report: dict | None) -> str:
 
 def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
                      slo_spec=None, meta: dict | None = None,
-                     cache_stats: dict | None = None) -> str:
+                     cache_stats: dict | None = None,
+                     capacity: dict | None = None) -> str:
     """Render one self-contained HTML page from a telemetry sink.
 
     ``slo_report`` is an :func:`repro.obs.slo.evaluate_slo` result;
@@ -249,7 +307,9 @@ def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
     is free-form run metadata shown in the header (system, scenario, ...).
     ``cache_stats`` (the lookup-cache tier's counter snapshot, when the
     deployment has one) adds a hit/miss/invalidation panel with the hit
-    rate.
+    rate.  ``capacity`` (a :func:`repro.obs.capacity.sweep_capacity`
+    report) adds offered-vs-goodput and tail-latency-vs-load panels with
+    per-system knee markers.
     """
     snap = sink.snapshot()
     slo_doc = dict(slo_report) if slo_report else None
@@ -257,7 +317,7 @@ def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
         slo_doc["burn_timelines"] = {
             obj.name: burn_timeline(obj, sink) for obj in slo_spec.objectives}
     data = _clean({"telemetry": snap, "slo": slo_doc, "meta": meta or {},
-                   "cache": cache_stats or None})
+                   "cache": cache_stats or None, "capacity": capacity or None})
     # </script> inside a JSON string would end the data block early
     payload = json.dumps(data, allow_nan=False).replace("</", "<\\/")
     title = "repro telemetry dashboard"
@@ -268,6 +328,14 @@ def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
     n_err = sum(totals["errors"].values())
     head = (f"{n_ops} ops, {n_err} errors over "
             f"{snap['n_windows']} × {snap['window_us'] / 1e3:.3g}ms windows")
+    cap_html = ""
+    if capacity:
+        pack = html.escape(str(capacity.get("pack", "?")))
+        cap_html = (
+            f"<h2>Open-loop capacity — goodput vs offered ({pack} pack; "
+            "ring = knee)</h2>\n<div id=\"cap-goodput\"></div>\n"
+            "<h2>Tail latency vs offered load (p99 / p999)</h2>\n"
+            "<div id=\"cap-latency\"></div>")
     return f"""<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
 <title>{title}</title>
@@ -284,6 +352,7 @@ def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
 <div id="throughput"></div>
 <h2>Latency percentiles (busiest op)</h2>
 <div id="latency"></div>
+{cap_html}
 <h2>Per-server busy fraction</h2>
 <div id="heat"></div>
 <h2>Per-server queue depth</h2>
@@ -296,6 +365,8 @@ def render_dashboard(sink: TelemetrySink, slo_report: dict | None = None,
 
 def write_dashboard(path, sink: TelemetrySink, slo_report: dict | None = None,
                     slo_spec=None, meta: dict | None = None,
-                    cache_stats: dict | None = None) -> None:
+                    cache_stats: dict | None = None,
+                    capacity: dict | None = None) -> None:
     with open(path, "w") as f:
-        f.write(render_dashboard(sink, slo_report, slo_spec, meta, cache_stats))
+        f.write(render_dashboard(sink, slo_report, slo_spec, meta, cache_stats,
+                                 capacity=capacity))

@@ -14,7 +14,14 @@ both objective kinds reduced to one *bad-event* form:
   ``bad = errors``, ``total = ops + errors``;
 * latency — an op is bad when it exceeds the threshold:
   ``bad = sketch.count_above(threshold)``, ``total = ops``
-  (estimated from the mergeable sketch's CDF, no samples retained).
+  (estimated from the mergeable sketch's CDF, no samples retained);
+* throughput-floor — for open-loop runs (ISSUE 9): an *offered* op is
+  bad when the system failed to turn it into goodput — it was shed at
+  admission, abandoned in the queue, or errored.  ``total`` is the
+  ``client.offered`` mark count (``obj.op`` names the mark), ``bad`` is
+  the shed + abandoned marks plus op errors, so "goodput >= X% of
+  offered" is exactly ``bad/total <= 1 - X`` and the budget/burn
+  machinery applies unchanged.
 
 The error budget over a horizon is ``(1 - target) × total`` bad events;
 *budget consumption* is ``bad / budget``.  A *burn rate* is how fast the
@@ -46,7 +53,7 @@ class Objective:
 
     def __init__(self, op: str, kind: str, target: float,
                  threshold_us: float | None = None, quantile: float = 0.99):
-        if kind not in ("availability", "latency"):
+        if kind not in ("availability", "latency", "throughput-floor"):
             raise ValueError(f"unknown objective kind {kind!r}")
         if not 0.0 < target < 1.0:
             raise ValueError(f"target must be in (0, 1), got {target}")
@@ -62,6 +69,8 @@ class Objective:
     def name(self) -> str:
         if self.kind == "availability":
             return f"{self.op}:availability"
+        if self.kind == "throughput-floor":
+            return f"{self.op}:throughput_floor"
         return f"{self.op}:latency_p{self.quantile * 100:g}"
 
     def to_dict(self) -> dict:
@@ -114,9 +123,32 @@ def default_spec() -> SLOSpec:
     ])
 
 
+def openloop_spec() -> SLOSpec:
+    """Stock spec for open-loop scenario packs (fig18): at least 90% of
+    offered arrivals must become goodput.
+
+    Calibrated against the container-churn pack at the default `repro
+    slo --scenario churn` rate — LocoFS-A's async write-behind acks keep
+    it comfortably above the floor while LocoFS-NC sheds a large
+    fraction at admission and exhausts the budget.
+    """
+    return SLOSpec("openloop", [
+        Objective("client.offered", "throughput-floor", 0.90),
+    ])
+
+
 def _bad_total(obj: Objective, sink: TelemetrySink,
                lo_us: float | None, hi_us: float | None) -> tuple[float, float]:
     """(bad events, total events) for one objective over a time range."""
+    if obj.kind == "throughput-floor":
+        # obj.op names the offered-arrival mark (the open-loop source
+        # emits "client.offered"); shed/abandoned marks and op errors are
+        # the offered ops that never became goodput
+        offered = sink.mark_total(obj.op, lo_us, hi_us)
+        bad = (sink.mark_total("client.shed", lo_us, hi_us)
+               + sink.mark_total("client.abandoned", lo_us, hi_us)
+               + sink.count_ops(None, lo_us, hi_us, errors=True))
+        return float(bad), float(offered)
     ok = sink.count_ops(obj.op, lo_us, hi_us)
     if obj.kind == "availability":
         errors = sink.count_ops(obj.op, lo_us, hi_us, errors=True)

@@ -592,6 +592,26 @@ class TelemetrySink:
             total += w.marks.get(name, 0)
         return total
 
+    def mark_series(self, prefix: str) -> dict[str, list[int]]:
+        """Per-window counts for every mark name starting with ``prefix``.
+
+        The offered-rate exporter uses this (``prefix="offered."``) to
+        build one Perfetto counter track per tenant; each series has one
+        entry per window, zeros included, so callers can align series
+        against window boundaries without re-deriving indices.
+        """
+        self._drain()
+        n = len(self._windows)
+        out: dict[str, list[int]] = {}
+        for i, w in enumerate(self._windows):
+            for name, count in w.marks.items():
+                if name.startswith(prefix):
+                    series = out.get(name)
+                    if series is None:
+                        series = out[name] = [0] * n
+                    series[i] = count
+        return dict(sorted(out.items()))
+
     def throughput_series(self, op: str | None = None) -> list[float]:
         """Per-window completion rate (ops per virtual second)."""
         self._drain()

@@ -4,6 +4,7 @@ from .cluster import Cluster, ServerNode
 from .costmodel import DEFAULT_COST_MODEL, HDD, SSD, CostModel, DeviceModel, KVCostPolicy
 from .engine import DirectEngine, EventEngine
 from .faults import FaultSchedule, FaultState, RetryPolicy
+from .openloop import OpenLoopSource, TenantCounters, TenantSpec, arrival_times
 from .rpc import LocalCharge, Mark, Parallel, Rpc, Sleep, SpanBegin, SpanEnd
 from .simulator import Simulator
 
@@ -29,4 +30,8 @@ __all__ = [
     "SpanBegin",
     "SpanEnd",
     "Simulator",
+    "OpenLoopSource",
+    "TenantSpec",
+    "TenantCounters",
+    "arrival_times",
 ]

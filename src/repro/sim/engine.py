@@ -194,6 +194,18 @@ class _ObservableEngine:
         if self.telemetry is not None:
             self.telemetry.mark(name, t)
 
+    def instant_mark(self, name: str) -> None:
+        """Driver-side instant at the current time: counter + telemetry mark.
+
+        For load sources (the open-loop driver) that sit outside any client
+        track — arrival/shed/abandon accounting attaches to no span, so
+        there is no tracer instant, only the counter and the mark.
+        """
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+        if self.telemetry is not None:
+            self.telemetry.mark(name, self.now)
+
     # -- span stack driven by SpanBegin/SpanEnd/Mark commands -------------------
     def _span_begin(self, state: _ClientState, cmd: SpanBegin) -> None:
         span = None

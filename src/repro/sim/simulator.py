@@ -127,6 +127,24 @@ class Simulator:
             if max_events is not None and n >= max_events:
                 return
 
+    def advance_to(self, time: float) -> None:
+        """Drain events up to ``time`` and leave the clock exactly there.
+
+        ``run(until=...)`` only moves the clock when a later event exists;
+        with an empty schedule it returns with ``now`` unchanged.  Drivers
+        that align measurement windows to a boundary (the open-loop
+        harness aligns to a telemetry-window multiple so setup traffic
+        never shares a window with measured traffic) need the clock moved
+        regardless, which is what this does.  Scheduling at ``time`` after
+        this call is legal: ``at`` treats ``time == now`` as a same-instant
+        ready entry.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot advance into the past: {time} < {self.now}")
+        self.run(until=time)
+        if self.now < time:
+            self.now = time
+
     def run_gated(self, horizon: float) -> bool:
         """Conservative-barrier drain (sharded pipelined exchange, DESIGN
         §10): fire every event with ``time <= horizon`` — including all

@@ -1,0 +1,179 @@
+"""Capacity analyzer: knee detection, metastability, sweep determinism.
+
+The detector is a pure function of swept points, so it is pinned here
+against synthetic M/M/1-shaped curves; the sweep driver is exercised at
+miniature scale for shape and byte-stability.
+"""
+
+import pytest
+
+from repro.obs.capacity import (
+    capacity_json,
+    knee_ordering_ok,
+    knee_point,
+    metastable_region,
+    saturating_phase,
+    sweep_capacity,
+)
+
+
+def _pt(load, goodput, p99=0.0, **kw):
+    d = {"load": load, "offered": load, "goodput": goodput, "p99": p99,
+         "depth_slope": 0.0, "shed": 0, "abandoned": 0, "backlog": 0}
+    d.update(kw)
+    return d
+
+
+def _mm1_curve():
+    """Goodput tracks offered until ~100k, then flattens as p99 explodes —
+    the textbook open-loop saturation shape (service rate mu = 100k)."""
+    return [
+        _pt(25_000, 24_900, p99=120.0),
+        _pt(50_000, 49_800, p99=190.0),
+        _pt(100_000, 95_000, p99=900.0),
+        _pt(200_000, 99_000, p99=14_000.0, shed=80_000),
+        _pt(400_000, 98_500, p99=15_000.0, shed=290_000),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# knee detector
+# ---------------------------------------------------------------------------
+
+def test_knee_on_mm1_curve():
+    knee = knee_point(_mm1_curve())
+    assert knee is not None
+    assert knee["index"] == 3 and knee["load"] == 200_000
+    assert "p99-inflection" in knee["reason"]
+
+
+def test_knee_detector_is_stable_under_tail_perturbation():
+    # jittering the saturated tail must not move the knee
+    for bump in (0.8, 1.0, 1.2):
+        pts = _mm1_curve()
+        pts[4]["goodput"] *= bump
+        pts[4]["p99"] *= bump
+        assert knee_point(pts)["index"] == 3
+
+
+def test_no_knee_on_linear_scaling():
+    pts = [_pt(l, l * 0.99, p99=150.0)
+           for l in (25_000, 50_000, 100_000, 200_000)]
+    assert knee_point(pts) is None
+
+
+def test_knee_requires_tail_signal_else_gain_only():
+    # goodput flattens but tail stays calm -> reported, flagged gain-only
+    pts = [_pt(50_000, 49_000, p99=100.0),
+           _pt(100_000, 60_000, p99=110.0),
+           _pt(200_000, 61_000, p99=112.0)]
+    knee = knee_point(pts)
+    assert knee["reason"] == "gain-only" and knee["index"] == 1
+
+
+def test_knee_tail_signals_queue_depth_and_admission():
+    pts = [_pt(50_000, 49_000, p99=100.0),
+           _pt(100_000, 60_000, p99=110.0, depth_slope=3.5)]
+    assert "queue-depth-rising" in knee_point(pts)["reason"]
+    pts = [_pt(50_000, 49_000, p99=100.0),
+           _pt(100_000, 60_000, p99=110.0, abandoned=500)]
+    assert "admission-pressure" in knee_point(pts)["reason"]
+
+
+# ---------------------------------------------------------------------------
+# metastability and ordering
+# ---------------------------------------------------------------------------
+
+def test_metastable_region_flags_collapse_below_sustained():
+    pts = [_pt(50_000, 50_000), _pt(100_000, 100_000),
+           _pt(200_000, 95_000), _pt(400_000, 70_000)]
+    # 95k >= 0.9 * 100k stays healthy; 70k < 90k is metastable
+    assert metastable_region(pts) == [3]
+    assert metastable_region([_pt(1000, 900), _pt(2000, 1800)]) == []
+
+
+def test_knee_ordering_ok():
+    report = {"systems": {
+        "slow": {"knee": {"load": 60_000.0}},
+        "fast": {"knee": {"load": 120_000.0}},
+        "never": {"knee": None},
+    }}
+    assert knee_ordering_ok(report, "slow", "fast")
+    assert not knee_ordering_ok(report, "fast", "slow")
+    assert knee_ordering_ok(report, "fast", "never")  # no knee = +inf
+
+
+# ---------------------------------------------------------------------------
+# saturating-phase naming
+# ---------------------------------------------------------------------------
+
+def _attr(**phase_means):
+    return {"ops": {"client.stat": {
+        "count": 100,
+        "phase_share": {p: 1.0 / len(phase_means) for p in phase_means},
+        "phase_mean_us": dict(phase_means),
+    }}}
+
+
+def test_saturating_phase_names_the_grower_not_the_biggest():
+    pre = _attr(network=500.0, server_queue=5.0, service=20.0)
+    at = _attr(network=510.0, server_queue=400.0, service=22.0)
+    # network is biggest in absolute share, but server_queue grew 80x
+    assert saturating_phase(pre, at) == "server_queue"
+
+
+def test_saturating_phase_falls_back_to_busiest_when_nothing_grew():
+    pre = _attr(network=500.0, service=20.0)
+    at = _attr(network=500.0, service=20.0)
+    assert saturating_phase(pre, at) == "network"
+
+
+# ---------------------------------------------------------------------------
+# sweep driver (miniature)
+# ---------------------------------------------------------------------------
+
+def test_sweep_capacity_shape_and_byte_stability():
+    kw = dict(systems=("locofs-c",), pack="dl-pipeline",
+              loads=(10_000.0, 40_000.0), num_servers=2,
+              horizon_us=20_000.0, seed=0, attribution=False)
+    a = sweep_capacity(**kw)
+    b = sweep_capacity(**kw)
+    assert capacity_json(a) == capacity_json(b)  # acceptance criterion
+    entry = a["systems"]["locofs-c"]
+    assert [pt["load"] for pt in entry["points"]] == [10_000.0, 40_000.0]
+    for pt in entry["points"]:
+        assert pt["conservation_ok"]
+        assert pt["goodput"] <= pt["offered"]
+        assert pt["p999"] >= pt["p99"] >= pt["p50"]
+
+
+def test_sweep_attribution_names_a_phase_at_the_knee():
+    from repro.obs.analyze import PHASES
+
+    report = sweep_capacity(systems=("locofs-nc",), pack="dl-pipeline",
+                            loads=(20_000.0, 80_000.0), num_servers=2,
+                            horizon_us=30_000.0, seed=0, attribution=True)
+    entry = report["systems"]["locofs-nc"]
+    assert entry["knee"] is not None and entry["knee"]["load"] == 80_000.0
+    attr = entry["attribution"]
+    assert attr["pre_knee"]["load"] == 20_000.0
+    assert attr["at_knee"]["load"] == 80_000.0
+    assert attr["at_knee"]["ops"]  # traced re-run saw real ops
+    assert entry["saturating_phase"] in PHASES
+
+
+def test_capacity_dashboard_panels():
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.telemetry import TelemetrySink
+
+    report = sweep_capacity(systems=("locofs-c",), pack="dl-pipeline",
+                            loads=(10_000.0, 40_000.0), num_servers=2,
+                            horizon_us=20_000.0, attribution=False)
+    html = render_dashboard(TelemetrySink(), capacity=report)
+    assert "cap-goodput" in html and "cap-latency" in html
+    assert "p999" in html
+    # still fully offline: no external scripts, stylesheets, or fetches
+    import re
+
+    assert not re.search(r'(?:src|href)\s*=\s*["\']https?://', html)
+    assert "fetch(" not in html

@@ -337,3 +337,51 @@ def test_dashboard_throughput_scenario(capsys, tmp_path):
                  "--client-scale", "0.1"]) == 0
     assert "IOPS" in capsys.readouterr().out
     assert "<html" in out_file.read_text()
+
+
+# ---------------------------------------------------------------------------
+# capacity verb and the slo churn scenario (ISSUE 9)
+# ---------------------------------------------------------------------------
+
+def test_capacity_sweep_json_table_and_dashboard(capsys, tmp_path):
+    import json
+
+    jpath = tmp_path / "capacity.json"
+    hpath = tmp_path / "capacity.html"
+    assert main(["capacity", "locofs-c", "--loads", "10000,40000",
+                 "--horizon-us", "20000", "-n", "2", "--no-attribution",
+                 "--json", str(jpath), "--dashboard-out", str(hpath)]) == 0
+    out = capsys.readouterr().out
+    assert "capacity sweep" in out and "knee" in out
+    doc = json.loads(jpath.read_text())
+    assert doc["schema"] == 1
+    pts = doc["systems"]["locofs-c"]["points"]
+    assert [pt["load"] for pt in pts] == [10_000.0, 40_000.0]
+    assert all(pt["conservation_ok"] for pt in pts)
+    html = hpath.read_text()
+    assert "cap-goodput" in html and "cap-latency" in html
+
+
+def test_capacity_check_gate_orders_knees(capsys):
+    assert main(["capacity", "locofs-b", "locofs-nc", "--loads",
+                 "20000,80000,240000", "--horizon-us", "30000", "-n", "2",
+                 "--no-attribution", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "check OK" in out
+    assert "knee(locofs-b) > knee(locofs-nc)" in out
+
+
+def test_capacity_unknown_system(capsys):
+    assert main(["capacity", "nope"]) == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
+def test_slo_churn_scenario_pass_and_fail(capsys):
+    assert main(["slo", "locofs-a", "--scenario", "churn", "--check",
+                 "--rate", "60000", "--horizon-us", "80000"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput_floor" in out and "PASS" in out
+    assert main(["slo", "locofs-nc", "--scenario", "churn", "--check",
+                 "--rate", "60000", "--horizon-us", "80000"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out

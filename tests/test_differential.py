@@ -305,11 +305,19 @@ def test_writebehind_differential(deferred_name, ops):
             gerr = None
         except FSError:
             got, gerr = None, FSError
-        if op_tuple[0] in _READ_OPS and gerr is not None and werr is None:
-            # a deferred mutator's error surfaced through the flush this
-            # read forced; the report is one-shot — the read itself must
-            # now succeed against the drained queue
-            got = _apply_mixed(deferred_client, op_tuple)
+        retries = 0
+        while gerr is not None and werr is None and retries < 10:
+            # a deferred mutator's error surfaced through the flush this op
+            # forced (reads *and* writes take the read-your-writes barrier);
+            # the report is one-shot, so the aborted op must now be retried
+            # against the drained queue — each retry may surface one more
+            # queued error, hence the loop
+            try:
+                got = _apply_mixed(deferred_client, op_tuple)
+                gerr = None
+            except FSError:
+                got, gerr = None, FSError
+            retries += 1
         if op_tuple[0] in _READ_OPS and werr is None and got is not None:
             assert got == want, (op_tuple, want, got)
     for _ in range(10):

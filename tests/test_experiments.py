@@ -28,7 +28,8 @@ from repro.experiments.common import ExperimentResult
 def test_registry_covers_every_figure_and_table():
     assert set(REGISTRY) == {
         "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "table1", "table3",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "table1",
+        "table3",
     }
     for mod in REGISTRY.values():
         assert hasattr(mod, "run")
@@ -131,3 +132,22 @@ def test_fig15_smoke():
 def test_table1_full_match():
     res = table1_access_matrix.run()
     assert "12/12 rows match" in res.notes[0]
+
+
+def test_fig18_smoke():
+    from repro.experiments import fig18_openloop
+
+    res = fig18_openloop.run(systems=("locofs-c", "locofs-nc"),
+                             packs=("dl-pipeline",),
+                             loads=(20_000.0, 80_000.0), num_servers=2,
+                             horizon_us=20_000.0, seed=0)
+    r = res["dl-pipeline"]
+    assert set(r.rows) == {"LocoFS-C", "LocoFS-NC"}
+    # goodput at the low load tracks offered for both systems
+    assert r.rows["LocoFS-C"][20_000.0] > 15_000
+    # the headline ordering: the no-cache baseline saturates first
+    knees = r.extras["knees"]
+    c = knees["locofs-c"] if knees["locofs-c"] is not None else float("inf")
+    nc = knees["locofs-nc"] if knees["locofs-nc"] is not None else float("inf")
+    assert nc < c
+    assert r.extras["saturating_phase"]["locofs-nc"] is not None

@@ -11,6 +11,7 @@ from repro.obs.slo import (
     default_spec,
     evaluate_slo,
     format_slo,
+    openloop_spec,
 )
 from repro.obs.telemetry import TelemetrySink
 
@@ -166,3 +167,59 @@ def test_fig16_locofs_nc_burns_availability_budget():
                  if e["objective"].endswith("availability"))
     assert avail["budget_consumed"] > 1.0
     assert avail["good_fraction"] < 0.95
+
+
+# ---------------------------------------------------------------------------
+# throughput-floor objectives (open-loop runs, ISSUE 9)
+# ---------------------------------------------------------------------------
+
+def _openloop_sink(offered, shed=0, abandoned=0, errors=0):
+    """Marks + error ops shaped like an OpenLoopSource-driven run."""
+    sink = TelemetrySink(window_us=100.0)
+    t = 0.0
+    for _ in range(offered):
+        sink.mark("client.offered", t)
+        t += 5.0
+    for _ in range(shed):
+        sink.mark("client.shed", t)
+        t += 5.0
+    for _ in range(abandoned):
+        sink.mark("client.abandoned", t)
+        t += 5.0
+    for _ in range(errors):
+        sink.op_complete("client.create", t, t + 50.0, error="FSError")
+        t += 5.0
+    return sink
+
+
+def test_throughput_floor_budget_math():
+    # 10% budget over 200 offered = 20 allowed losses; 10 lost = half spent
+    sink = _openloop_sink(offered=200, shed=6, abandoned=3, errors=1)
+    spec = SLOSpec("t", [Objective("client.offered", "throughput-floor", 0.90)])
+    report = evaluate_slo(spec, sink)
+    [entry] = report["objectives"]
+    assert entry["total"] == 200.0
+    assert entry["bad"] == 10.0
+    assert entry["budget"] == pytest.approx(20.0)
+    assert entry["budget_consumed"] == pytest.approx(0.5)
+    assert entry["good_fraction"] == pytest.approx(0.95)
+    assert entry["ok"] and report["ok"]
+
+
+def test_throughput_floor_fails_when_floor_broken():
+    sink = _openloop_sink(offered=200, shed=35, abandoned=5)  # 20% lost
+    report = evaluate_slo(openloop_spec(), sink)
+    [entry] = report["objectives"]
+    assert entry["budget_consumed"] == pytest.approx(2.0)
+    assert not entry["ok"] and not report["ok"]
+    assert "throughput_floor" in format_slo(report)
+
+
+def test_throughput_floor_objective_roundtrip():
+    obj = Objective("client.offered", "throughput-floor", 0.90)
+    assert obj.name == "client.offered:throughput_floor"
+    back = Objective.from_dict(obj.to_dict())
+    assert back.kind == "throughput-floor" and back.target == 0.90
+    spec = openloop_spec()
+    assert spec.name == "openloop"
+    assert [o.kind for o in spec.objectives] == ["throughput-floor"]
