@@ -10,12 +10,14 @@ and say so in the commit message.  The whole point of the golden is that
 performance work must NOT move it.
 """
 
+import json
 import sys
 from pathlib import Path
 
-from repro.harness.goldens import GOLDEN_SYSTEMS, capture
+from repro.harness.goldens import GOLDEN_SYSTEMS, capture, fingerprint_system
 
-DEFAULT = Path(__file__).resolve().parent.parent / "tests" / "goldens" / "determinism.json"
+GOLDENS_DIR = Path(__file__).resolve().parent.parent / "tests" / "goldens"
+DEFAULT = GOLDENS_DIR / "determinism.json"
 
 
 def main() -> int:
@@ -25,6 +27,13 @@ def main() -> int:
     print(f"captured determinism golden for {len(doc['systems'])} systems -> {out}")
     for name in GOLDEN_SYSTEMS:
         print(f"  {name}: direct_now_us={doc['systems'][name]['direct_now_us']}")
+    # locofs-r keeps its own golden file: the seven-system document is
+    # pinned to exactly the paper's evaluated systems
+    r_out = out.parent / "determinism_locofs_r.json"
+    r_doc = fingerprint_system("locofs-r")
+    r_out.write_text(json.dumps(r_doc, indent=1, sort_keys=True) + "\n")
+    print(f"captured locofs-r golden -> {r_out}")
+    print(f"  locofs-r: direct_now_us={r_doc['direct_now_us']}")
     return 0
 
 

@@ -67,7 +67,8 @@ def _obs_parent() -> argparse.ArgumentParser:
     g.add_argument("--slo", nargs="?", const="default", default=None,
                    metavar="SPEC",
                    help="evaluate SLO objectives over the run's telemetry "
-                        "('default' or a spec JSON file)")
+                        "('default', 'openloop', 'replicated', or a spec "
+                        "JSON file)")
     return p
 
 
@@ -90,12 +91,15 @@ def _telemetry_sink(args, force: bool = False):
 
 
 def _load_spec(name: str | None):
-    from repro.obs.slo import SLOSpec, default_spec, openloop_spec
+    from repro.obs.slo import (SLOSpec, default_spec, openloop_spec,
+                               replicated_spec)
 
     if name is None or name == "default":
         return default_spec()
     if name == "openloop":
         return openloop_spec()
+    if name == "replicated":
+        return replicated_spec()
     return SLOSpec.from_file(name)
 
 

@@ -75,6 +75,29 @@ class StaleHandle(FSError):
     errno = errno.ESTALE
 
 
+class NotLeader(FSError):
+    """A replicated-log mutation was sent to a non-leader replica.
+
+    ``path`` carries the replica's *hint* about the current leader (the
+    server name it last acked an append from), or ``""`` when the replica
+    has no hint — the client then runs leader discovery (DESIGN §13).
+    """
+
+    errno = errno.EREMCHG if hasattr(errno, "EREMCHG") else errno.ESTALE
+
+
+class QuorumFailed(FSError):
+    """Fewer than ``k`` branches of a :class:`~repro.sim.rpc.Quorum`
+    fan-out succeeded (EHOSTUNREACH).
+
+    Raised in the issuing generator once enough branches have failed that
+    the quorum is unreachable.  ``path`` carries a short description of
+    the round (method + vote count) for diagnostics.
+    """
+
+    errno = errno.EHOSTUNREACH
+
+
 class ServerDown(FSError):
     """An RPC timed out against a crashed or unreachable server (EHOSTDOWN).
 

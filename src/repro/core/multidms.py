@@ -56,9 +56,11 @@ class DirectoryShardServer(DirectoryMetadataServer):
     are partial: each shard holds the entries of the children hashed to it.
     """
 
-    def __init__(self, shard_id: int, backend: str = "btree", has_root: bool = False):
-        super().__init__(backend=backend, sid=shard_id)
-        if not has_root:
+    def __init__(self, shard_id: int, backend: str = "btree", has_root: bool = False,
+                 wal_path: str | None = None):
+        super().__init__(backend=backend, sid=shard_id, wal_path=wal_path)
+        self.has_root = has_root
+        if not has_root and self.store.get(_ikey("/")) is not None:
             # the base class installs a root; only shard 0 keeps it
             self.store.delete(_ikey("/"))
             from repro.common.uuidgen import ROOT_UUID
@@ -213,16 +215,55 @@ class MultiDMSClient(LocoClient):
 
     def _g_dir_exists(self, path: str) -> Generator:
         try:
-            yield Rpc(self._dms_for(path), "shard_lookup", (path,))
+            yield from self._g_dms_read(self._dms_for(path), "shard_lookup", (path,))
             return True
         except NoEntry:
             return False
 
     def _dms_for(self, path: str) -> str:
+        """Routing target for ``path``: a server name here, a *partition*
+        name in the replicated subclass (which resolves it to the
+        partition's current leader)."""
         path = pathutil.normalize(path)
         if path == "/":
             return self.dms_names[0]
         return self.dms_ring.lookup(b"D:" + path.encode())
+
+    # -- DMS transport hooks -------------------------------------------------------
+    # Every DMS interaction funnels through these four generators so a
+    # subclass can reroute the directory tier (the replicated client sends
+    # mutations through its quorum-replicated log and reads through the
+    # partition leader) without touching the operation logic.  The default
+    # bodies yield exactly the commands the operations used to yield
+    # inline, so this client's virtual time is unchanged.
+
+    def _g_dms_read(self, target: str, method: str, args: tuple) -> Generator:
+        result = yield Rpc(target, method, args)
+        return result
+
+    def _g_dms_mutate(self, target: str, method: str, args: tuple) -> Generator:
+        result = yield Rpc(target, method, args)
+        return result
+
+    def _g_dms_scatter(self, method: str, args: tuple,
+                       extra_rpcs: list) -> Generator:
+        """One read on every DMS target plus unrelated RPCs, one fan-out.
+        Returns the combined result list (DMS answers first, in
+        ``dms_names`` order, then the extras in their given order)."""
+        results = yield Parallel(
+            [Rpc(n, method, args) for n in self.dms_names] + extra_rpcs)
+        return results
+
+    def _g_dms_mutate_scatter(self, method: str, args: tuple) -> Generator:
+        """One *mutation* on every DMS target (rename export); returns the
+        per-target results in ``dms_names`` order."""
+        results = yield Parallel([Rpc(n, method, args) for n in self.dms_names])
+        return results
+
+    def _g_dms_import(self, regroup: dict) -> Generator:
+        """Deliver rename import batches, keyed by DMS target."""
+        yield Parallel([Rpc(n, "shard_import", (recs,))
+                        for n, recs in regroup.items()])
 
     # -- directory resolution: the ACL walk moves to the client ---------------------
     def _g_dir(self, path: str) -> Generator:
@@ -232,7 +273,8 @@ class MultiDMSClient(LocoClient):
         for p in chain:
             info = self.dcache.get(p, self.now_us) if self.cache_enabled else None
             if info is None:
-                info = yield Rpc(self._dms_for(p), "shard_lookup", (p,))
+                info = yield from self._g_dms_read(self._dms_for(p),
+                                                   "shard_lookup", (p,))
                 if self.cache_enabled:
                     self.dcache.put(p, info, self.now_us)
             infos.append(info)
@@ -255,8 +297,9 @@ class MultiDMSClient(LocoClient):
             file_exists = yield Rpc(fms, "exists", (pinfo["uuid"], name))
             if file_exists:
                 raise Exists(path)
-        uuid = yield Rpc(self._dms_for(path), "shard_mkdir",
-                         (path, mode, self.cred, now, pinfo["uuid"]))
+        uuid = yield from self._g_dms_mutate(
+            self._dms_for(path), "shard_mkdir",
+            (path, mode, self.cred, now, pinfo["uuid"]))
         self._cache_dir({"path": path, "uuid": uuid,
                          "mode": S_IFDIR | (mode & 0o7777),
                          "uid": self.cred.uid, "gid": self.cred.gid, "ctime": now})
@@ -271,26 +314,25 @@ class MultiDMSClient(LocoClient):
         self._check_parent_write(pinfo)
         info = yield from self._g_dir(path)
         # emptiness: every DMS shard may hold subdir slices, every FMS files
-        answers = yield Parallel(
-            [Rpc(n, "shard_subdirs", (info["uuid"],)) for n in self.dms_names]
-            + [Rpc(n, "has_files", (info["uuid"],)) for n in self.fms_names]
-        )
+        answers = yield from self._g_dms_scatter(
+            "shard_subdirs", (info["uuid"],),
+            [Rpc(n, "has_files", (info["uuid"],)) for n in self.fms_names])
         nshards = len(self.dms_names)
         if any(de.count_entries(buf) > 0 for buf in answers[:nshards]):
             raise NotEmpty(path)
         if any(answers[nshards:]):
             raise NotEmpty(path)
-        yield Rpc(self._dms_for(path), "shard_rmdir", (path, pinfo["uuid"], self.cred))
+        yield from self._g_dms_mutate(self._dms_for(path), "shard_rmdir",
+                                      (path, pinfo["uuid"], self.cred))
         self.dcache.invalidate(path)
 
     def _g_readdir(self, path: str) -> Generator:
         path = pathutil.normalize(path)
         info = yield from self._g_dir(path)
         uuid = info["uuid"]
-        results = yield Parallel(
-            [Rpc(n, "shard_subdirs", (uuid,)) for n in self.dms_names]
-            + [Rpc(n, "readdir", (uuid,)) for n in self.fms_names]
-        )
+        results = yield from self._g_dms_scatter(
+            "shard_subdirs", (uuid,),
+            [Rpc(n, "readdir", (uuid,)) for n in self.fms_names])
         entries = []
         for buf in results:
             entries.extend(de.iter_entries(buf))
@@ -302,16 +344,16 @@ class MultiDMSClient(LocoClient):
         path = pathutil.normalize(path)
         parent, name = pathutil.split(path)
         if path == "/":
-            yield Rpc(self._dms_for(path), "shard_setattr", (path, self.cred, now),
-                      {"mode": mode})
+            yield from self._g_dms_mutate(self._dms_for(path), "shard_setattr",
+                                          (path, self.cred, now, mode))
             return
         info = yield from self._g_dir(parent)
         fms = self._fms_for(info["uuid"], name)
         try:
             yield Rpc(fms, "setattr", (info["uuid"], name, self.cred, now), {"mode": mode})
         except NoEntry:
-            yield Rpc(self._dms_for(path), "shard_setattr", (path, self.cred, now),
-                      {"mode": mode})
+            yield from self._g_dms_mutate(self._dms_for(path), "shard_setattr",
+                                          (path, self.cred, now, mode))
             self.dcache.invalidate(path)
 
     def _g_chown(self, path: str, uid: int, gid: int) -> Generator:
@@ -319,8 +361,8 @@ class MultiDMSClient(LocoClient):
         path = pathutil.normalize(path)
         parent, name = pathutil.split(path)
         if path == "/":
-            yield Rpc(self._dms_for(path), "shard_setattr", (path, self.cred, now),
-                      {"uid": uid, "gid": gid})
+            yield from self._g_dms_mutate(self._dms_for(path), "shard_setattr",
+                                          (path, self.cred, now, None, uid, gid))
             return
         info = yield from self._g_dir(parent)
         fms = self._fms_for(info["uuid"], name)
@@ -328,8 +370,8 @@ class MultiDMSClient(LocoClient):
             yield Rpc(fms, "setattr", (info["uuid"], name, self.cred, now),
                       {"uid": uid, "gid": gid})
         except NoEntry:
-            yield Rpc(self._dms_for(path), "shard_setattr", (path, self.cred, now),
-                      {"uid": uid, "gid": gid})
+            yield from self._g_dms_mutate(self._dms_for(path), "shard_setattr",
+                                          (path, self.cred, now, None, uid, gid))
             self.dcache.invalidate(path)
 
     def _g_rename(self, old: str, new: str) -> Generator:
@@ -338,7 +380,7 @@ class MultiDMSClient(LocoClient):
         if old == new:
             return
         try:
-            yield Rpc(self._dms_for(old), "shard_lookup", (old,))
+            yield from self._g_dms_read(self._dms_for(old), "shard_lookup", (old,))
             is_dir = True
         except NoEntry:
             is_dir = False
@@ -349,7 +391,7 @@ class MultiDMSClient(LocoClient):
         if pathutil.is_ancestor(old, new):
             raise InvalidArgument(new, "cannot move a directory into itself")
         try:
-            yield Rpc(self._dms_for(new), "shard_lookup", (new,))
+            yield from self._g_dms_read(self._dms_for(new), "shard_lookup", (new,))
             raise Exists(new)
         except NoEntry:
             pass
@@ -365,7 +407,7 @@ class MultiDMSClient(LocoClient):
                                 (dp["uuid"], new_name))
         if file_exists:
             raise Exists(new)
-        exports = yield Parallel([Rpc(n, "shard_export", (old,)) for n in self.dms_names])
+        exports = yield from self._g_dms_mutate_scatter("shard_export", (old,))
         regroup: dict[str, list] = {}
         moved_uuid = None
         for batch in exports:
@@ -375,10 +417,11 @@ class MultiDMSClient(LocoClient):
                     moved_uuid = DIR_INODE.read(buf, "uuid")
                 regroup.setdefault(self._dms_for(np), []).append((np, buf, ebuf))
         if regroup:
-            yield Parallel([Rpc(n, "shard_import", (recs,))
-                            for n, recs in regroup.items()])
-        yield Rpc(self._dms_for(old), "shard_unlink_dirent", (sp["uuid"], old_name))
-        yield Rpc(self._dms_for(new), "shard_link", (dp["uuid"], new_name, moved_uuid))
+            yield from self._g_dms_import(regroup)
+        yield from self._g_dms_mutate(self._dms_for(old), "shard_unlink_dirent",
+                                      (sp["uuid"], old_name))
+        yield from self._g_dms_mutate(self._dms_for(new), "shard_link",
+                                      (dp["uuid"], new_name, moved_uuid))
         self.dcache.invalidate(old)
         self.dcache.invalidate_prefix(pathutil.dir_key_prefix(old))
 

@@ -21,6 +21,7 @@ from . import (
     fig16_availability,
     fig17_async_updates,
     fig18_openloop,
+    fig19_replication,
     table1_access_matrix,
     table3_clients,
 )
@@ -42,6 +43,7 @@ REGISTRY = {
     "fig16": fig16_availability,
     "fig17": fig17_async_updates,
     "fig18": fig18_openloop,
+    "fig19": fig19_replication,
     "table1": table1_access_matrix,
     "table3": table3_clients,
 }

@@ -63,6 +63,15 @@ def _make(system_name: str, num_servers: int, cost: CostModel,
     write-ahead-logs its KV store — without it a crash honestly loses
     the namespace and the lost-acked check reports the damage.
     """
+    if system_name == "locofs-r":
+        # replicated partitioned DMS: not a plain LocoFS deployment —
+        # must precede the generic locofs* branch below
+        from repro.core.repldms import ReplicatedLocoFS
+
+        return ReplicatedLocoFS(
+            num_metadata_servers=num_servers, cost=cost,
+            engine_kind="event", data_dir=data_dir,
+        )
     if system_name.startswith("locofs"):
         from repro.common.config import BatchConfig, CacheConfig, ClusterConfig
         from repro.core.fs import LocoFS

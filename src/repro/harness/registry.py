@@ -11,6 +11,8 @@ Names follow the paper's figure legends:
 * ``locofs-a`` — dependency-aware asynchronous metadata updates (all
   small updates defer, not just creates) plus the shared hot-entry
   lookup-cache tier (beyond the paper; Fig. 17)
+* ``locofs-r`` — quorum-replicated, partitioned directory service with
+  client-driven leader failover (beyond the paper; Fig. 19)
 * ``lustre-d1`` / ``lustre-d2`` — Lustre DNE1 / DNE2
 * ``cephfs``, ``gluster``, ``indexfs``, ``rawkv``
 """
@@ -40,6 +42,7 @@ SYSTEM_NAMES = [
     "locofs-df",
     "locofs-b",
     "locofs-a",
+    "locofs-r",
     "cephfs",
     "gluster",
     "lustre-d1",
@@ -56,6 +59,7 @@ LABELS = {
     "locofs-df": "LocoFS-DF",
     "locofs-b": "LocoFS-B",
     "locofs-a": "LocoFS-A",
+    "locofs-r": "LocoFS-R",
     "cephfs": "CephFS",
     "gluster": "Gluster",
     "lustre-d1": "Lustre D1",
@@ -93,6 +97,12 @@ def make_system(
                           lookup_cache=LookupCacheConfig(enabled=True)),
             cost=cost, engine_kind=engine_kind,
         )
+    if name == "locofs-r":
+        # quorum-replicated partitioned DMS (beyond the paper; Fig. 19)
+        from repro.core.repldms import ReplicatedLocoFS
+
+        return ReplicatedLocoFS(num_metadata_servers=num_servers, cost=cost,
+                                engine_kind=engine_kind)
     if name == "locofs-nc":
         return LocoFS(
             ClusterConfig(num_metadata_servers=num_servers,

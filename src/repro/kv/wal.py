@@ -106,9 +106,20 @@ class WriteAheadLog:
         self._fh.flush()
 
     def truncate(self) -> None:
-        """Discard the log contents (after a successful memtable flush)."""
+        """Discard the log contents (after a successful memtable flush).
+
+        A truncate can land *inside* an open group: the LSM store flushes
+        its memtable from ``put`` when it overflows, and ``put`` is legal
+        within ``begin_group``/``end_group``.  Records buffered before the
+        truncate describe state the flush just made durable in an SSTable,
+        so they must not be resurrected into the fresh log by the
+        outermost ``end_group`` — drop the buffered records but keep the
+        group open (same depth) so later appends still batch correctly.
+        """
         self._fh.close()
         self._fh = open(self.path, "wb")
+        if self._group:
+            self._group.clear()
 
     def close(self) -> None:
         self._fh.close()

@@ -73,9 +73,16 @@ class ConsistentHashRing:
         if cached is None:
             ring = tuple(sorted(entries))
             cached = (ring, tuple(p for p, _ in ring))
-            if len(_RING_MEMO) >= _RING_MEMO_MAX:
-                _RING_MEMO.clear()
-            _RING_MEMO[memo_key] = cached
+            while len(_RING_MEMO) >= _RING_MEMO_MAX:
+                # bounded LRU: evict only the coldest membership instead of
+                # wholesale-clearing — churny membership (replication and
+                # elasticity runs flip between a handful of node sets) keeps
+                # its hot entries and never re-sorts a ring it just built
+                _RING_MEMO.pop(next(iter(_RING_MEMO)))
+        else:
+            # refresh recency (dicts preserve insertion order)
+            del _RING_MEMO[memo_key]
+        _RING_MEMO[memo_key] = cached
         self._ring, self._points = cached
         self.version += 1
         self._lookup_cache.clear()

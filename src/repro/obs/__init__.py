@@ -26,7 +26,7 @@ from .analyze import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 from .slo import (Objective, SLOSpec, default_spec, evaluate_slo,
-                  format_slo, openloop_spec)
+                  format_slo, openloop_spec, replicated_spec)
 from .telemetry import LogSketch, TelemetrySink
 from .tracer import Instant, KVTraceSink, NullTracer, Span, Tracer
 
@@ -47,6 +47,7 @@ __all__ = [
     "SLOSpec",
     "default_spec",
     "openloop_spec",
+    "replicated_spec",
     "evaluate_slo",
     "format_slo",
     "PHASES",

@@ -137,6 +137,25 @@ def openloop_spec() -> SLOSpec:
     ])
 
 
+def replicated_spec() -> SLOSpec:
+    """Stock spec for the replicated directory tier (fig19): a leader
+    crash must stay a failover blip, not a recovery window.
+
+    Calibrated against the fig19 leader-kill scenario — LocoFS-R steers
+    around the dead leader inside the op (probe, deterministic election,
+    re-propose), so no create surfaces an error and the p99 latency is
+    bounded by one election timeout plus a few quorum rounds.  The
+    unreplicated LocoFS-NC burns the availability budget on give-ups and
+    blows the latency threshold for the whole crash-restart-replay
+    window.
+    """
+    return SLOSpec("replicated", [
+        Objective("client.create", "availability", 0.995),
+        Objective("client.create", "latency", 0.99,
+                  threshold_us=25_000.0, quantile=0.99),
+    ])
+
+
 def _bad_total(obj: Objective, sink: TelemetrySink,
                lo_us: float | None, hi_us: float | None) -> tuple[float, float]:
     """(bad events, total events) for one objective over a time range."""

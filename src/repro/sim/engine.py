@@ -46,7 +46,7 @@ from collections import deque
 from collections.abc import Callable, Generator
 from heapq import heappush
 
-from repro.common.errors import FSError, ServerDown
+from repro.common.errors import FSError, QuorumFailed, ServerDown
 from repro.obs.tracer import KVTraceSink
 
 from .cluster import Cluster, ServerNode
@@ -57,6 +57,7 @@ from .rpc import (
     TAG_DELAY,
     TAG_MARK,
     TAG_PARALLEL,
+    TAG_QUORUM,
     TAG_RPC,
     TAG_SPAN_BEGIN,
     TAG_SPAN_CAPTURE,
@@ -65,6 +66,7 @@ from .rpc import (
     LocalCharge,
     Mark,
     Parallel,
+    Quorum,
     Rpc,
     Sleep,
     SpanBegin,
@@ -80,6 +82,7 @@ __all__ = [
     "LocalCharge",
     "Mark",
     "Parallel",
+    "Quorum",
     "Rpc",
     "Sleep",
     "SpanBegin",
@@ -455,8 +458,92 @@ class DirectEngine(_ObservableEngine):
                                   else self._do_batch_f(cmd))
                 except FSError as e:
                     exc = e
+            elif tag == TAG_QUORUM:
+                try:
+                    send_value = self._do_quorum(cmd)
+                except FSError as e:
+                    exc = e
             else:
                 raise TypeError(f"unknown engine command: {cmd!r}")
+
+    def _do_quorum(self, cmd: Quorum):
+        """Fan out the branches, resume at the k-th successful completion.
+
+        Each branch gets exactly one attempt (no retry policy — see
+        :class:`~repro.sim.rpc.Quorum`): a dropped request or down server
+        is a failed vote at ``send + timeout_us``.  All branches execute
+        against their servers (their queue/service effects happen), but
+        the clock resumes at the k-th success; slower successes are
+        reported as ``None``, matching "still in flight at resume".
+        """
+        cost = self.cost
+        base = self.now
+        uplink = 0.0
+        downlink_free = base
+        transfer_us = cost.transfer_us
+        faults = self.faults
+        n = len(cmd.rpcs)
+        results: list = [None] * n
+        finishes: list[tuple[float, int, bool, FSError | None]] = []
+        for i, rpc in enumerate(cmd.rpcs):
+            # the client's uplink serializes request payloads, exactly as
+            # a Parallel fan-out does
+            if rpc.send_bytes:
+                uplink += transfer_us(rpc.send_bytes)
+            t0 = base + uplink
+            self.now = t0
+            ok = True
+            err: FSError | None = None
+            result = None
+            dropped = False
+            if faults is not None:
+                fate, extra = faults.wire_fate()
+                if fate == F_DROP:
+                    dropped = True
+                elif extra:
+                    self.now += extra
+            if dropped:
+                # request loss: the server never executes it, the vote
+                # fails when the client's timeout fires
+                ok = False
+                self.now = t0 + cost.timeout_us
+            else:
+                try:
+                    result = self._do_rpc(rpc, single=False, transfers=False)
+                except ServerDown as e:
+                    ok, err = False, e
+                    self.now = max(self.now, t0 + cost.timeout_us)
+                except FSError as e:
+                    # an application error (e.g. NotLeader) is a fast
+                    # failed vote: the response did come back
+                    ok, err = False, e
+            arrive = self.now
+            if ok:
+                arrive = arrive if arrive > downlink_free else downlink_free
+                nbytes = _response_bytes(rpc, result)
+                if nbytes:
+                    arrive += transfer_us(nbytes)
+                downlink_free = arrive
+                results[i] = result
+            finishes.append((arrive, i, ok, err))
+        succ = sorted(t for t, _, ok, _ in finishes if ok)
+        if len(succ) >= cmd.k:
+            resume = succ[cmd.k - 1]
+            self.now = resume
+            for t, i, ok, _ in finishes:
+                if not ok or t > resume:
+                    results[i] = None
+            return results
+        # quorum unreachable: the client learns it when the
+        # (n - k + 1)-th branch fails
+        fails = sorted(t for t, _, ok, _ in finishes if not ok)
+        self.now = fails[n - cmd.k]
+        if n == 1:
+            first = finishes[0][3]
+            if first is not None:
+                raise first
+        raise QuorumFailed(
+            f"{cmd.rpcs[0].method}: {len(succ)} of {cmd.k} votes")
 
     def _do_rpc(self, rpc: Rpc, single: bool = True, transfers: bool = True):
         cost = self.cost
@@ -830,6 +917,29 @@ class EventEngine(_ObservableEngine):
                     if rpc.send_bytes:
                         uplink += transfer_us(rpc.send_bytes)
                 return
+            if tag == TAG_QUORUM:
+                rpcs = cmd.rpcs
+                pending = {
+                    "total": len(rpcs),
+                    "need": cmd.k,
+                    "ok": 0,
+                    "fail": 0,
+                    "results": [None] * len(rpcs),
+                    "first_err": None,
+                    "resolved": False,
+                    "method": rpcs[0].method,
+                    # routes branch completions to _join_quorum (and marks
+                    # the group single-attempt for _retry_rpc)
+                    "join": self._join_quorum,
+                }
+                uplink = 0.0
+                transfer_us = self.cost.transfer_us
+                for i, rpc in enumerate(rpcs):
+                    self._issue(proc, rpc, single=False,
+                                group=(pending, i), extra_delay=uplink)
+                    if rpc.send_bytes:
+                        uplink += transfer_us(rpc.send_bytes)
+                return
             if tag == TAG_SPAN_BEGIN:
                 self._span_begin(state, cmd)
             elif tag == TAG_SPAN_END:
@@ -987,12 +1097,15 @@ class EventEngine(_ObservableEngine):
                 sim._ready.append((self._step, proc.slot))
         else:
             pending, idx = group
+            join = pending.get("join")
+            if join is None:
+                join = self._join
             args = (proc, pending, idx, result, err)
             if respond_at > arrive:
                 sim._seq = seq = sim._seq + 1
-                heappush(sim._heap, (respond_at, seq, self._join, args))
+                heappush(sim._heap, (respond_at, seq, join, args))
             else:
-                sim._ready.append((self._join, args))
+                sim._ready.append((join, args))
 
     def _issue_batch(self, proc: _Proc, batch: Batch,
                      attempt: int = 0) -> None:
@@ -1122,6 +1235,16 @@ class EventEngine(_ObservableEngine):
         state = proc.state
         policy = self.retry
         fail_at = base_t + self.cost.timeout_us
+        if group is not None and group[0].get("join") is not None:
+            # quorum branch: single attempt by design — a lost request or
+            # down server is a failed vote when the timeout fires, never a
+            # backoff+retry (which would turn millisecond failovers into
+            # tens of milliseconds per dead replica)
+            pending, idx = group
+            at = fail_at if fail_at > sim.now else sim.now
+            sim.at(at, pending["join"], proc, pending, idx, None,
+                   ServerDown(rpc.server))
+            return
         if attempt >= policy.max_retries:
             self._fault_mark(state, "client.gaveup", rpc.server, fail_at)
             err = ServerDown(rpc.server)
@@ -1190,6 +1313,37 @@ class EventEngine(_ObservableEngine):
             frac = min(1.0, (node.busy_us - last_busy) / (finish - last_ts))
             metrics.timeseries(f"{name}.utilization").sample(finish, frac)
             self._util_mark[name] = (finish, node.busy_us)
+
+    def _join_quorum(self, proc: _Proc, pending, idx, result, err) -> None:
+        """One quorum branch completed.  Resume the client at the k-th
+        success; once resolved, late branches are ignored (their server
+        effects already happened, the client has moved on)."""
+        if pending["resolved"]:
+            return
+        if err is None:
+            pending["results"][idx] = result
+            pending["ok"] += 1
+            if pending["ok"] >= pending["need"]:
+                pending["resolved"] = True
+                # snapshot: still-in-flight branches stay None for the
+                # client even though their effects land later
+                proc.value = list(pending["results"])
+                proc.exc = None
+                self._step(proc)
+            return
+        pending["fail"] += 1
+        if pending["first_err"] is None:
+            pending["first_err"] = err
+        if pending["total"] - pending["fail"] < pending["need"]:
+            pending["resolved"] = True
+            proc.value = None
+            if pending["total"] == 1 and pending["first_err"] is not None:
+                proc.exc = pending["first_err"]
+            else:
+                proc.exc = QuorumFailed(
+                    f"{pending['method']}: {pending['ok']} of "
+                    f"{pending['need']} votes")
+            self._step(proc)
 
     def _join(self, proc: _Proc, pending, idx, result, err) -> None:
         pending["results"][idx] = result

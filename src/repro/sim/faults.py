@@ -102,7 +102,20 @@ class FaultSchedule:
     def shifted(self, dt_us: float) -> "FaultSchedule":
         """A copy with every event time offset by ``dt_us`` — schedules
         are authored relative to a measurement window, then shifted to
-        the absolute virtual time at which the window starts."""
+        the absolute virtual time at which the window starts.
+
+        **Wire fates do not shift.**  Drop/delay fates are drawn from one
+        seeded RNG stream in *attempt order* (the k-th RPC attempt gets
+        the k-th draw), not keyed by virtual time, so a shifted copy
+        reproduces the exact same fate sequence as the original: the
+        k-th attempt drops in both.  This is intentional — availability
+        harnesses author a schedule relative to the wave, shift it to the
+        wave's start time, and compare against an unshifted baseline; if
+        fates were time-keyed, the shift itself would change which
+        requests are lost and the comparison would measure the shift, not
+        the faults.  Tests pin this contract
+        (``test_faults.py::TestShiftedSemantics``).
+        """
         out = FaultSchedule(self.seed, self.drop_prob, self.delay_prob,
                             self.delay_us)
         out.events = [(t + dt_us, kind, server, tear)

@@ -29,6 +29,7 @@ TAG_SPAN_END = 4
 TAG_MARK = 5
 TAG_BATCH = 6
 TAG_SPAN_CAPTURE = 7
+TAG_QUORUM = 8
 
 #: shared default for Rpc.kwargs — never mutate (handlers receive a copy
 #: via ``**kwargs`` unpacking, so sharing one empty dict is safe)
@@ -113,6 +114,49 @@ class Parallel:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Parallel({self.rpcs!r})"
+
+
+class Quorum:
+    """Fan out RPCs and resume as soon as ``k`` of them succeed.
+
+    The replication primitive (DESIGN §13).  Differs from
+    :class:`Parallel` in two load-bearing ways:
+
+    * **Early resume** — the issuing generator continues at the virtual
+      time of the k-th *successful* completion, not the slowest branch.
+      A replica that is down or slow does not delay the quorum; its
+      branch keeps occupying its server in the background (the engines
+      still account its queue/service time), but the client moves on.
+    * **Single attempt per branch** — no retry policy.  A branch against
+      a down server fails at ``arrive + timeout_us`` and counts as a
+      failed vote immediately; burning ``max_retries`` exponential
+      backoffs per dead replica would turn a millisecond failover into
+      tens of milliseconds.  Callers that need retries (the replication
+      client's propose loop) retry the *whole quorum round* with fresh
+      leadership information instead.
+
+    Resumes with a list of per-branch results aligned with ``rpcs``:
+    branches that had completed by resume time hold their result,
+    branches that failed hold ``None``, branches still in flight hold
+    ``None`` as well (their effects on the servers still happen).  If
+    fewer than ``k`` branches can succeed, raises
+    :class:`~repro.common.errors.QuorumFailed` — except for the
+    single-branch case (``len(rpcs) == 1``), where the branch's own
+    error is re-raised so callers can distinguish e.g. ``NotLeader``
+    from an unreachable server.
+    """
+
+    __slots__ = ("rpcs", "k")
+    tag = TAG_QUORUM
+
+    def __init__(self, rpcs: list[Rpc], k: int):
+        if not 1 <= k <= len(rpcs):
+            raise ValueError(f"quorum k={k} outside 1..{len(rpcs)}")
+        self.rpcs = rpcs
+        self.k = k
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Quorum({self.rpcs!r}, k={self.k})"
 
 
 class Sleep:

@@ -20,6 +20,7 @@ import pytest
 from repro.harness import goldens
 
 GOLDEN_PATH = Path(__file__).parent / "goldens" / "determinism.json"
+GOLDEN_R_PATH = Path(__file__).parent / "goldens" / "determinism_locofs_r.json"
 
 
 @pytest.fixture(scope="module")
@@ -134,6 +135,40 @@ def test_sharded_non_golden_systems_bit_identical(system):
     dispatch path) must also fingerprint identically under sharding."""
     assert (goldens.fingerprint_system(system, shards=2)
             == goldens.fingerprint_system(system))
+
+
+class TestLocoFSRGolden:
+    """LocoFS-R determinism golden (its own file: the seven-system golden
+    asserts ``len == 7`` and predates the replicated DMS).
+
+    The replicated directory tier adds Quorum fan-outs, client-relayed
+    appends, and hashed election timeouts to the timing plane — all of
+    which must be exactly deterministic for a fixed deployment."""
+
+    @pytest.fixture(scope="class")
+    def golden_r(self):
+        return json.loads(GOLDEN_R_PATH.read_text())
+
+    def test_fingerprint_bit_identical(self, golden_r):
+        assert goldens.fingerprint_system("locofs-r") == golden_r
+
+    def test_empty_fault_schedule_is_bit_identical(self, golden_r, monkeypatch):
+        # replication consults no RNG (election jitter is a pure hash), so
+        # an attached-but-empty schedule must be a perfect no-op here too
+        from repro.harness import mdtest, registry, runner
+        from repro.sim.faults import FaultSchedule
+
+        real = registry.make_system
+
+        def with_empty_faults(*args, **kwargs):
+            system = real(*args, **kwargs)
+            system.engine.attach_faults(FaultSchedule())
+            return system
+
+        monkeypatch.setattr(registry, "make_system", with_empty_faults)
+        monkeypatch.setattr(runner, "make_system", with_empty_faults)
+        monkeypatch.setattr(mdtest, "make_system", with_empty_faults)
+        assert goldens.fingerprint_system("locofs-r") == golden_r
 
 
 def test_sharded_rawkv_bit_identical():

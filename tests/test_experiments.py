@@ -28,8 +28,8 @@ from repro.experiments.common import ExperimentResult
 def test_registry_covers_every_figure_and_table():
     assert set(REGISTRY) == {
         "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "table1",
-        "table3",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "table1", "table3",
     }
     for mod in REGISTRY.values():
         assert hasattr(mod, "run")

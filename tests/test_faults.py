@@ -80,6 +80,43 @@ class TestFaultSchedule:
         assert policy.backoff_us(5, rng) == 350.0
 
 
+class TestShiftedSemantics:
+    """``FaultSchedule.shifted`` contract (pinned by its docstring):
+    crash/restart event *times* shift, wire fates do *not* — fates are
+    drawn from one seeded RNG stream in attempt order, so the k-th RPC
+    attempt meets the same fate in the original and the shifted copy.
+    The availability harness depends on this: it authors a schedule
+    relative to the measured wave, shifts it to the wave's start, and
+    compares against an unshifted baseline — time-keyed fates would make
+    the comparison measure the shift, not the faults."""
+
+    def test_event_times_shift_wire_fates_do_not(self):
+        base = FaultSchedule(seed=11, drop_prob=0.25, delay_prob=0.25)
+        base.crash_restart("fms0", 100.0, 50.0, torn_tail_bytes=16)
+        shifted = base.shifted(250_000.0)
+        assert shifted.events == [(250_100.0, 0, "fms0", 16),
+                                  (250_150.0, 1, "fms0", 0)]
+        a = FaultState(base, engine=None)
+        b = FaultState(shifted, engine=None)
+        fates = [a.wire_fate() for _ in range(300)]
+        assert fates == [b.wire_fate() for _ in range(300)]
+        # the stream really exercised every fate (not vacuously equal)
+        assert {f for f, _ in fates} == {F_OK, F_DROP, F_DELAY}
+
+    def test_shift_composes_and_preserves_knobs(self):
+        base = FaultSchedule(seed=3, drop_prob=0.1, delay_prob=0.05,
+                             delay_us=750.0)
+        base.crash("dms", 10.0)
+        twice = base.shifted(100.0).shifted(200.0)
+        assert twice.events == [(310.0, 0, "dms", 0)]
+        assert (twice.seed, twice.drop_prob, twice.delay_prob,
+                twice.delay_us) == (3, 0.1, 0.05, 750.0)
+        assert base.events == [(10.0, 0, "dms", 0)]  # original untouched
+
+    def test_shifted_empty_schedule_stays_empty(self):
+        assert FaultSchedule().shifted(5_000.0).empty
+
+
 # -- engine integration: down servers, retries, determinism ------------------------
 
 

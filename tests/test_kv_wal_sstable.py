@@ -103,6 +103,42 @@ class TestWAL:
         assert recovered.get(b"y") == b"2"
         assert recovered.get(b"z") is None  # torn record dropped
 
+    def test_truncate_inside_group_drops_buffered_records(self, tmp_path):
+        # regression: truncate() used to leave records buffered by an open
+        # group in place, so the outermost end_group resurrected state the
+        # memtable flush had just made durable into the fresh log
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.begin_group()
+        wal.append_put(b"flushed", b"1")
+        wal.truncate()  # memtable overflow flush landing mid-group
+        wal.append_put(b"live", b"2")
+        wal.end_group()
+        wal.flush()
+        assert list(WriteAheadLog.replay(path)) == [(OP_PUT, b"live", b"2")]
+        wal.close()
+
+    def test_truncate_inside_nested_group_keeps_depth(self, tmp_path):
+        # the group must stay open at the same nesting depth across a
+        # truncate: only the outermost end_group may write
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.begin_group()
+        wal.begin_group()
+        wal.append_put(b"old", b"1")
+        wal.truncate()
+        wal.append_put(b"inner", b"2")
+        wal.end_group()  # inner: must not flush yet
+        wal.flush()
+        assert list(WriteAheadLog.replay(path)) == []
+        wal.append_put(b"outer", b"3")
+        wal.end_group()
+        wal.flush()
+        assert list(WriteAheadLog.replay(path)) == [
+            (OP_PUT, b"inner", b"2"), (OP_PUT, b"outer", b"3")]
+        assert wal.commits == 1  # both survivors in one commit
+        wal.close()
+
     def test_truncate_resets_log(self, tmp_path):
         path = str(tmp_path / "wal.log")
         wal = WriteAheadLog(path)

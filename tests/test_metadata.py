@@ -212,6 +212,63 @@ class TestConsistentHash:
         assert file_placement_key(1, "a") != file_placement_key(1, "b")
 
 
+class TestRingMemoLRU:
+    """The process-wide ring memo is a bounded LRU: membership churn
+    (replication and elasticity runs flip through many node sets) must not
+    grow it without bound, and re-touching a hot membership must refresh
+    its recency so churn evicts cold entries first."""
+
+    def test_memo_bounded_under_membership_churn(self):
+        from repro.metadata import chash
+
+        hot = ConsistentHashRing(vnodes=8)
+        hot.add_node("hot0")
+        hot.add_node("hot1")
+        want = {k: hot.lookup(k) for k in (f"k{i}".encode() for i in range(20))}
+        for i in range(chash._RING_MEMO_MAX + 50):
+            churn = ConsistentHashRing(vnodes=8)
+            churn.add_node(f"churn{i}")
+        assert len(chash._RING_MEMO) <= chash._RING_MEMO_MAX
+        # lookups stay correct whether or not the memo kept the membership
+        again = ConsistentHashRing(vnodes=8)
+        again.add_node("hot0")
+        again.add_node("hot1")
+        assert {k: again.lookup(k) for k in want} == want
+        assert len(chash._RING_MEMO) <= chash._RING_MEMO_MAX
+
+    def test_memo_hit_refreshes_recency(self):
+        from repro.metadata import chash
+
+        chash._RING_MEMO.clear()
+        cap = chash._RING_MEMO_MAX
+        for i in range(cap):
+            r = ConsistentHashRing(vnodes=4)
+            r.add_node(f"m{i}")
+        assert len(chash._RING_MEMO) == cap
+        # a memo hit (identical membership) must move m0 to the tail ...
+        touched = ConsistentHashRing(vnodes=4)
+        touched.add_node("m0")
+        assert len(chash._RING_MEMO) == cap  # hit, not an insert
+        # ... so the next eviction claims the coldest entry, m1, not m0
+        fresh = ConsistentHashRing(vnodes=4)
+        fresh.add_node("fresh")
+        def key(n):
+            return (frozenset({n}), 4)
+
+        assert key("m0") in chash._RING_MEMO
+        assert key("m1") not in chash._RING_MEMO
+        assert len(chash._RING_MEMO) <= cap
+
+    def test_identical_memberships_share_ring_storage(self):
+        a = ConsistentHashRing(vnodes=16)
+        b = ConsistentHashRing(vnodes=16)
+        for n in ("x", "y", "z"):
+            a.add_node(n)
+            b.add_node(n)
+        assert a._ring is b._ring  # memoized tuple, not a rebuilt copy
+        assert a._points is b._points
+
+
 class TestLeaseCache:
     def test_hit_within_lease(self):
         c = LeaseCache(lease_seconds=30)

@@ -170,6 +170,32 @@ def test_fig16_locofs_nc_burns_availability_budget():
 
 
 # ---------------------------------------------------------------------------
+# the fig19 acceptance gate: replicated directory tier under leader kill
+# ---------------------------------------------------------------------------
+
+def _leader_kill_slo(system, victim):
+    from repro.harness.availability import run_availability
+    from repro.obs.slo import replicated_spec
+
+    sink = TelemetrySink()
+    run_availability(system, 2, crash_server=victim, num_clients=4,
+                     items_per_client=20, telemetry=sink)
+    return evaluate_slo(replicated_spec(), sink)
+
+
+def test_fig19_locofs_r_passes_replicated_slo():
+    # the failover happens inside the op: no create surfaces an error and
+    # the p99 stays under the one-election-plus-retries threshold
+    report = _leader_kill_slo("locofs-r", "rdms0.0")
+    assert report["ok"], format_slo(report)
+
+
+def test_fig19_locofs_nc_fails_replicated_slo():
+    report = _leader_kill_slo("locofs-nc", "dms")
+    assert not report["ok"], format_slo(report)
+
+
+# ---------------------------------------------------------------------------
 # throughput-floor objectives (open-loop runs, ISSUE 9)
 # ---------------------------------------------------------------------------
 
